@@ -1,0 +1,1 @@
+bench/bench_support.ml: Analyze Baselines Bechamel Benchmark Deque Float Harness Hashtbl Instance List Measure Printf Staged Test Time Toolkit

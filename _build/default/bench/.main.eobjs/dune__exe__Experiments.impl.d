@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Atomic Baselines Bench_support Dcas Deque Domain Float Gc Harness Int List Modelcheck Printf Spec Unix Worksteal

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Experiments List Printf String Term Unix

@@ -1,0 +1,1197 @@
+(* The experiment tables E1-E14 (see DESIGN.md section 5 for the map
+   from paper artifact to experiment).  Each experiment prints one or
+   more tables; EXPERIMENTS.md quotes and discusses the output.  The
+   [quick] flag shrinks durations and sample counts for smoke runs. *)
+
+open Bench_support
+
+let dur ~quick base = if quick then base /. 4. else base
+let cnt ~quick base = if quick then base / 4 else base
+
+(* Implementations used across experiments. *)
+let array_lockfree = of_array (module Deque.Array_deque.Lockfree) ()
+let array_nohints = of_array (module Deque.Array_deque.Lockfree) ~hints:false ()
+let array_locked = of_array (module Deque.Array_deque.Locked) ()
+let array_striped = of_array (module Deque.Array_deque.Striped) ()
+let list_lockfree = of_list (module Deque.List_deque.Lockfree)
+let list_locked = of_list (module Deque.List_deque.Locked)
+let list_striped = of_list (module Deque.List_deque.Striped)
+let dummy_lockfree = of_list_dummy (module Deque.List_deque_dummy.Lockfree)
+let lock_deque = of_general (module Baselines.Lock_deque)
+let spin_deque = of_general (module Baselines.Spin_deque)
+let greenwald1 = of_greenwald_v1 (module Baselines.Greenwald_v1.Lockfree)
+
+let fmt_tp = Harness.Table.ops_per_sec
+let fmt_ns = Harness.Table.ns
+
+(* ------------------------------------------------------------------ *)
+(* E1: array boundary behaviour (Figures 4, 7, 8)                      *)
+(* ------------------------------------------------------------------ *)
+
+let e1 ~quick =
+  header "E1  array deque: boundary and wraparound behaviour (Figs 4/7/8)";
+  let ops_count = cnt ~quick 200_000 in
+  let rows =
+    List.map
+      (fun length ->
+        let module A = Deque.Array_deque.Lockfree in
+        let d = A.make ~length () in
+        let oracle = ref (Spec.Seq_deque.make ~capacity:length ()) in
+        let rng = Harness.Splitmix.create ~seed:(length * 31) in
+        let okay = ref 0 and full = ref 0 and got = ref 0 and empty = ref 0 in
+        let agree = ref true in
+        for i = 1 to ops_count do
+          let op =
+            match Harness.Splitmix.int rng ~bound:4 with
+            | 0 -> Spec.Op.Push_right i
+            | 1 -> Spec.Op.Push_left i
+            | 2 -> Spec.Op.Pop_right
+            | _ -> Spec.Op.Pop_left
+          in
+          let res =
+            match op with
+            | Spec.Op.Push_right v ->
+                Deque.Deque_intf.res_of_push (A.push_right d v)
+            | Spec.Op.Push_left v ->
+                Deque.Deque_intf.res_of_push (A.push_left d v)
+            | Spec.Op.Pop_right -> Deque.Deque_intf.res_of_pop (A.pop_right d)
+            | Spec.Op.Pop_left -> Deque.Deque_intf.res_of_pop (A.pop_left d)
+          in
+          (match res with
+          | Spec.Op.Okay -> incr okay
+          | Spec.Op.Full -> incr full
+          | Spec.Op.Got _ -> incr got
+          | Spec.Op.Empty -> incr empty);
+          let oracle', expect = Spec.Seq_deque.apply !oracle op in
+          oracle := oracle';
+          if not (Spec.Op.equal_res Int.equal res expect) then agree := false
+        done;
+        let inv =
+          match A.check_invariant d with Ok () -> "ok" | Error e -> e
+        in
+        [
+          string_of_int length;
+          string_of_int ops_count;
+          string_of_int !okay;
+          string_of_int !full;
+          string_of_int !got;
+          string_of_int !empty;
+          (if !agree then "yes" else "NO");
+          inv;
+        ])
+      [ 1; 2; 8; 64 ]
+  in
+  Harness.Table.print
+    ~headers:[ "length"; "ops"; "okay"; "full"; "got"; "empty"; "=oracle"; "invariant" ]
+    rows;
+  note "every response agrees with the Section 2.2 oracle across %d ops/row"
+    ops_count
+
+(* ------------------------------------------------------------------ *)
+(* E2: contended pops on a single element (Figures 5/6)                *)
+(* ------------------------------------------------------------------ *)
+
+let winner_stats scenario ~samples ~seed =
+  (* run random schedules and record which thread won the element *)
+  let right = ref 0 and left = ref 0 and other = ref 0 in
+  let state = ref (seed lor 1) in
+  let rand bound =
+    let s = !state in
+    let s = s lxor (s lsl 13) in
+    let s = s lxor (s lsr 7) in
+    let s = s lxor (s lsl 17) in
+    state := s land max_int;
+    !state mod bound
+  in
+  for _ = 1 to samples do
+    let decide _depth enabled = rand (List.length enabled) in
+    let report = Modelcheck.Explorer.run_schedule scenario ~decide in
+    Array.iter
+      (fun (e : (int Spec.Op.op, int Spec.Op.res) Spec.History.entry) ->
+        match (e.op, e.result) with
+        | Spec.Op.Pop_right, Spec.Op.Got _ -> incr right
+        | Spec.Op.Pop_left, Spec.Op.Got _ -> incr left
+        | _, _ -> ())
+      report.Modelcheck.Explorer.history;
+    if false then incr other
+  done;
+  (!right, !left, !other)
+
+let e2 ~quick =
+  header "E2  popRight vs popLeft racing for the last element (Figs 5/6)";
+  let samples = cnt ~quick 20_000 in
+  let rows =
+    List.map
+      (fun (label, scenario) ->
+        let outcome = Modelcheck.Explorer.explore scenario in
+        let verdict =
+          match outcome.Modelcheck.Explorer.error with
+          | None -> "linearizable"
+          | Some f -> "FAILED: " ^ f.Modelcheck.Explorer.reason
+        in
+        let r, l, _ = winner_stats scenario ~samples ~seed:17 in
+        [
+          label;
+          string_of_int outcome.Modelcheck.Explorer.schedules;
+          (if outcome.Modelcheck.Explorer.exhaustive then "yes" else "no");
+          verdict;
+          Printf.sprintf "%d (%.1f%%)" r
+            (100. *. float_of_int r /. float_of_int samples);
+          Printf.sprintf "%d (%.1f%%)" l
+            (100. *. float_of_int l /. float_of_int samples);
+          string_of_int (samples - r - l);
+        ])
+      [
+        ( "array",
+          Modelcheck.Scenario.array_deque ~name:"fig6a" ~length:4
+            ~prefill:[ 42 ]
+            [ [ Spec.Op.Pop_right ]; [ Spec.Op.Pop_left ] ] );
+        ( "array(no-hints)",
+          Modelcheck.Scenario.array_deque ~hints:false ~name:"fig6nh" ~length:4
+            ~prefill:[ 42 ]
+            [ [ Spec.Op.Pop_right ]; [ Spec.Op.Pop_left ] ] );
+        ( "list",
+          Modelcheck.Scenario.list_deque ~name:"fig6l" ~prefill:[ 42 ]
+            [ [ Spec.Op.Pop_right ]; [ Spec.Op.Pop_left ] ] );
+        ( "list-dummy",
+          Modelcheck.Scenario.list_deque_dummy ~name:"fig6d" ~prefill:[ 42 ]
+            [ [ Spec.Op.Pop_right ]; [ Spec.Op.Pop_left ] ] );
+      ]
+  in
+  Harness.Table.print
+    ~headers:
+      [ "deque"; "schedules"; "exhaustive"; "verdict"; "right wins"; "left wins"; "neither" ]
+    rows;
+  note "exactly one side wins in every schedule (right+left = %d samples)"
+    samples
+
+(* ------------------------------------------------------------------ *)
+(* E3: the list deque's empty-state family and contending deletes      *)
+(* ------------------------------------------------------------------ *)
+
+let e3 ~quick =
+  ignore quick;
+  header "E3  list deque: Figure 9 empty states and Figure 16 deletes";
+  let open Spec.Op in
+  let scenarios =
+    [
+      ( "plain empty: pop/pop",
+        Modelcheck.Scenario.list_deque ~name:"s0" ~prefill:[]
+          [ [ Pop_right ]; [ Pop_left ] ] );
+      ( "right-deleted: push/pop contend",
+        Modelcheck.Scenario.list_deque ~name:"s1" ~prefill:[ 1 ]
+          ~setup:[ Pop_right ]
+          [ [ Push_right 2 ]; [ Pop_right ] ] );
+      ( "left-deleted: push/pop contend",
+        Modelcheck.Scenario.list_deque ~name:"s2" ~prefill:[ 1 ]
+          ~setup:[ Pop_left ]
+          [ [ Push_left 2 ]; [ Pop_left ] ] );
+      ( "two deleted: contending deletes (Fig 16)",
+        Modelcheck.Scenario.list_deque ~name:"s3" ~prefill:[ 1; 2 ]
+          ~setup:[ Pop_right; Pop_left ]
+          [ [ Push_right 3 ]; [ Push_left 4 ] ] );
+      ( "two deleted: deletes raced by pops",
+        Modelcheck.Scenario.list_deque ~name:"s4" ~prefill:[ 1; 2 ]
+          ~setup:[ Pop_right; Pop_left ]
+          [ [ Pop_right ]; [ Pop_left ] ] );
+      ( "dummy variant: contending deletes",
+        Modelcheck.Scenario.list_deque_dummy ~name:"s5" ~prefill:[ 1; 2 ]
+          ~setup:[ Pop_right; Pop_left ]
+          [ [ Push_right 3 ]; [ Push_left 4 ] ] );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, s) ->
+        let t0 = Unix.gettimeofday () in
+        let o = Modelcheck.Explorer.explore s in
+        [
+          label;
+          string_of_int o.Modelcheck.Explorer.schedules;
+          (if o.Modelcheck.Explorer.exhaustive then "yes" else "no");
+          (match o.Modelcheck.Explorer.error with
+          | None -> "invariant + linearizable"
+          | Some f -> "FAILED: " ^ f.Modelcheck.Explorer.reason);
+          Printf.sprintf "%.2fs" (Unix.gettimeofday () -. t0);
+        ])
+      scenarios
+  in
+  Harness.Table.print
+    ~headers:[ "scenario"; "schedules"; "exhaustive"; "verdict"; "time" ]
+    rows;
+  note "RepInv (Figs 18/24/25) checked after every shared-memory step"
+
+(* ------------------------------------------------------------------ *)
+(* E4: primitive cost hierarchy (Section 2 assumption)                 *)
+(* ------------------------------------------------------------------ *)
+
+let e4 ~quick =
+  header "E4  primitive latencies: read < write < CAS < DCAS (Section 2)";
+  let quota = if quick then 0.2 else 0.5 in
+  let mem_cases (module M : Dcas.Memory_intf.MEMORY) =
+    let r = M.make 0 in
+    let w = M.make 0 in
+    let a = M.make 0 and b = M.make 0 in
+    let m1 = M.make 0 and m2 = M.make 0 in
+    [
+      (M.name ^ "/read", fun () -> ignore (M.get r));
+      (M.name ^ "/write", fun () -> M.set w 0);
+      (M.name ^ "/dcas-hit", fun () -> ignore (M.dcas a b 0 0 0 0));
+      (M.name ^ "/dcas-miss", fun () -> ignore (M.dcas m1 m2 1 1 0 0));
+    ]
+  in
+  let atomic_cases =
+    let x = Atomic.make 0 in
+    [
+      ("atomic/read", fun () -> ignore (Atomic.get x));
+      ("atomic/write", fun () -> Atomic.set x 0);
+      ("atomic/cas-hit", fun () -> ignore (Atomic.compare_and_set x 0 0));
+      ("atomic/cas-miss", fun () -> ignore (Atomic.compare_and_set x 1 0));
+    ]
+  in
+  let cases =
+    atomic_cases
+    @ mem_cases (module Dcas.Mem_lockfree)
+    @ mem_cases (module Dcas.Mem_lock)
+    @ mem_cases (module Dcas.Mem_striped)
+    @ mem_cases (module Dcas.Mem_seq)
+  in
+  let results = ns_per_op ~quota cases in
+  Harness.Table.print ~headers:[ "operation"; "ns/op" ]
+    (List.map (fun (n, ns) -> [ n; fmt_ns ns ]) results);
+  note "single-thread, uncontended; hardware CAS baseline on top"
+
+(* ------------------------------------------------------------------ *)
+(* E5: uninterrupted concurrent access to both ends                    *)
+(* ------------------------------------------------------------------ *)
+
+let e5 ~quick =
+  header "E5  two-end independence: ours vs Greenwald v1 (ends serialized)";
+  let duration = dur ~quick 0.4 in
+  let capacity = 4096 and prefill = 2048 in
+  let factories = [ array_lockfree; greenwald1; lock_deque; spin_deque ] in
+  let rows =
+    List.map
+      (fun f ->
+        Dcas.Mem_lockfree.reset_stats ();
+        let t1 = two_end_throughput ~threads:1 ~duration f ~capacity ~prefill in
+        let t2 = two_end_throughput ~threads:2 ~duration f ~capacity ~prefill in
+        let t4 = two_end_throughput ~threads:4 ~duration f ~capacity ~prefill in
+        let s = Dcas.Mem_lockfree.stats () in
+        let success_rate =
+          if s.Dcas.Memory_intf.dcas_attempts = 0 then "-"
+          else
+            Harness.Table.pct
+              (float_of_int s.Dcas.Memory_intf.dcas_successes
+              /. float_of_int s.Dcas.Memory_intf.dcas_attempts)
+        in
+        [
+          f.f_name;
+          fmt_tp t1;
+          fmt_tp t2;
+          fmt_tp t4;
+          Harness.Table.ratio (t2 /. t1);
+          success_rate;
+        ])
+      factories
+  in
+  Harness.Table.print
+    ~headers:
+      [ "implementation"; "1 thr"; "2 thr (ends)"; "4 thr"; "2t/1t"; "dcas ok" ]
+    rows;
+  note
+    "even threads use the right end, odd the left (single-core box: the\n\
+     throughput deltas mostly reflect per-op cost, not parallelism)";
+  (* The hardware-independent signal: over ALL interleavings of one
+     right-end op against one left-end op, does either ever have to
+     retry?  DCAS attempts beyond one per operation mean the ends
+     interfered.  The paper's deque never retries; Greenwald v1's
+     packed index word forces retries. *)
+  let interference scenario =
+    let min_a = ref max_int and max_a = ref 0 and schedules = ref 0 in
+    let on_schedule (_ : Modelcheck.Explorer.run_report) =
+      let s = Modelcheck.Mem_model.stats () in
+      let a = s.Dcas.Memory_intf.dcas_attempts in
+      if a < !min_a then min_a := a;
+      if a > !max_a then max_a := a;
+      incr schedules;
+      Modelcheck.Mem_model.reset_stats ()
+    in
+    Modelcheck.Mem_model.reset_stats ();
+    let o = Modelcheck.Explorer.explore ~on_schedule scenario in
+    (o, !min_a, !max_a, !schedules)
+  in
+  let open Spec.Op in
+  let rows =
+    List.map
+      (fun (label, scenario) ->
+        let o, min_a, max_a, _ = interference scenario in
+        [
+          label;
+          string_of_int o.Modelcheck.Explorer.schedules;
+          string_of_int min_a;
+          string_of_int max_a;
+          (if max_a > min_a then "ends interfere" else "never a retry");
+        ])
+      [
+        ( "array (paper)",
+          Modelcheck.Scenario.array_deque ~name:"i1" ~length:8
+            ~prefill:[ 1; 2; 3; 4 ]
+            [ [ Push_right 9 ]; [ Push_left 8 ] ] );
+        ( "greenwald-v1",
+          Modelcheck.Scenario.greenwald_v1 ~name:"i2" ~length:8
+            ~prefill:[ 1; 2; 3; 4 ]
+            [ [ Push_right 9 ]; [ Push_left 8 ] ] );
+      ]
+  in
+  Printf.printf "\ninterference across ALL interleavings (1 op per end):\n";
+  Harness.Table.print
+    ~headers:[ "implementation"; "schedules"; "min dcas"; "max dcas"; "verdict" ]
+    rows;
+  note
+    "counts include the 4 prefill pushes; with 4 items between the ends the\n\
+     paper's deque needs the same minimal DCAS count under EVERY schedule,\n\
+     while v1's single index word forces retries when the ends interleave"
+
+(* ------------------------------------------------------------------ *)
+(* E6: Greenwald v2's false boundary reports                           *)
+(* ------------------------------------------------------------------ *)
+
+let e6 ~quick =
+  ignore quick;
+  header "E6  Greenwald v2: false 'full' with one element (Section 1.1)";
+  let open Spec.Op in
+  let threads =
+    [ [ Push_right 9 ]; [ Pop_left; Push_right 8 ] ]
+  in
+  let rows =
+    List.map
+      (fun (label, outcome) ->
+        [
+          label;
+          string_of_int outcome.Modelcheck.Explorer.schedules;
+          (match outcome.Modelcheck.Explorer.error with
+          | None -> "linearizable (exhaustive)"
+          | Some f ->
+              Printf.sprintf "FAILS (%s)" f.Modelcheck.Explorer.reason);
+        ])
+      [
+        ( "greenwald-v2 (no boundary confirm)",
+          Modelcheck.Explorer.explore
+            (Modelcheck.Scenario.greenwald_v2 ~name:"g2" ~length:2
+               ~prefill:[ 7 ] threads) );
+        ( "paper's array deque, same scenario",
+          Modelcheck.Explorer.explore
+            (Modelcheck.Scenario.array_deque ~name:"ours" ~length:2
+               ~prefill:[ 7 ] threads) );
+      ]
+  in
+  Harness.Table.print ~headers:[ "algorithm"; "schedules"; "verdict" ] rows;
+  note
+    "v2 concludes 'full' from two separate reads; the paper's confirming\n\
+     no-op DCAS (Fig 3 lines 6-10) makes the same scenario linearizable"
+
+(* ------------------------------------------------------------------ *)
+(* E7: array vs list trade-off across mixes and threads                *)
+(* ------------------------------------------------------------------ *)
+
+let e7 ~quick =
+  header "E7  array vs linked-list deque across workloads";
+  let duration = dur ~quick 0.35 in
+  let capacity = 1024 and prefill = 512 in
+  let mixes =
+    [
+      ("balanced", Harness.Workload.balanced);
+      ("push-heavy", Harness.Workload.push_heavy);
+      ("pop-heavy", Harness.Workload.pop_heavy);
+      ("fifo", Harness.Workload.fifo);
+      ("lifo-right", Harness.Workload.lifo_right);
+    ]
+  in
+  let factories = [ array_lockfree; list_lockfree; dummy_lockfree ] in
+  List.iter
+    (fun (mix_name, mix) ->
+      let rows =
+        List.map
+          (fun f ->
+            let tp t =
+              mixed_throughput ~threads:t ~duration ~mix f ~capacity ~prefill
+            in
+            let t1 = tp 1 and t2 = tp 2 and t4 = tp 4 in
+            [ f.f_name; fmt_tp t1; fmt_tp t2; fmt_tp t4 ])
+          factories
+      in
+      Printf.printf "\n-- mix: %s --\n" mix_name;
+      Harness.Table.print
+        ~headers:[ "implementation"; "1 thr"; "2 thr"; "4 thr" ]
+        rows)
+    mixes;
+  note
+    "\nexpected shape: array wins (no allocation, one DCAS per pop);\n\
+     the list pays the split pop's extra DCAS plus allocation, and buys\n\
+     unbounded capacity"
+
+(* Latency distribution under contention: each worker times batches of
+   operations and feeds the per-batch mean into its own log-bucketed
+   histogram (gettimeofday is too coarse for single sub-microsecond
+   operations); histograms merge after the run.  Complements E7's
+   throughput shape with tail behaviour — retry loops under contention
+   show up in p99, not in the mean. *)
+let e7_latency ~quick =
+  header "E7b latency distribution under contention (4 threads, balanced mix)";
+  let duration = dur ~quick 0.6 in
+  let batch = 64 in
+  let measure (factory : factory) =
+    let h = factory.make ~capacity:1024 ~prefill:512 in
+    let histograms =
+      Array.init 4 (fun _ -> Harness.Metrics.Histogram.create ())
+    in
+    let _r =
+      Harness.Runner.run ~threads:4 ~duration (fun ~tid ~rng ->
+          let t0 = Harness.Metrics.now () in
+          for _ = 1 to batch do
+            ignore
+              (Harness.Workload.apply
+                 ~push_right:(fun v -> if h.push_right v then `Okay else `Full)
+                 ~push_left:(fun v -> if h.push_left v then `Okay else `Full)
+                 ~pop_right:(fun () ->
+                   if h.pop_right () then `Value 0 else `Empty)
+                 ~pop_left:(fun () -> if h.pop_left () then `Value 0 else `Empty)
+                 Harness.Workload.balanced rng tid)
+          done;
+          let ns =
+            (Harness.Metrics.now () -. t0) *. 1e9 /. float_of_int batch
+          in
+          Harness.Metrics.Histogram.add histograms.(tid)
+            ~ns:(int_of_float (Float.max 1. ns)))
+    in
+    Array.fold_left Harness.Metrics.Histogram.merge
+      (Harness.Metrics.Histogram.create ())
+      histograms
+  in
+  let rows =
+    List.map
+      (fun f ->
+        let hist = measure f in
+        [
+          f.f_name;
+          fmt_ns (Harness.Metrics.Histogram.mean_ns hist);
+          fmt_ns (Harness.Metrics.Histogram.quantile_ns hist 0.5);
+          fmt_ns (Harness.Metrics.Histogram.quantile_ns hist 0.99);
+        ])
+      [ array_lockfree; list_lockfree; dummy_lockfree; lock_deque ]
+  in
+  Harness.Table.print
+    ~headers:
+      [ "implementation"; "mean/op"; "p50 (bucket)"; "p99 (bucket)" ]
+    rows;
+  note
+    "per-batch means of %d ops; p99 >> p50 indicates retry storms or\n\
+     preemption inside operations (quantiles are bucket upper bounds, 2x wide)"
+    batch
+
+(* ------------------------------------------------------------------ *)
+(* E8: work-stealing application (Arora et al. [4])                    *)
+(* ------------------------------------------------------------------ *)
+
+let e8 ~quick =
+  header "E8  work-stealing scheduler: restricted ABP vs general deques";
+  let n = if quick then 25 else 30 in
+  let schedulers :
+      (string * (module Worksteal.Worksteal_intf.SCHEDULER)) list =
+    [
+      ("abp (CAS only)", (module Worksteal.Scheduler.Abp_scheduler));
+      ("array-dcas", (module Worksteal.Scheduler.Array_scheduler));
+      ("list-dcas", (module Worksteal.Scheduler.List_scheduler));
+      ("lock", (module Worksteal.Scheduler.Lock_scheduler));
+    ]
+  in
+  let rec seq_fib n = if n < 2 then n else seq_fib (n - 1) + seq_fib (n - 2) in
+  let expect = seq_fib n in
+  let rows =
+    List.map
+      (fun (name, (module S : Worksteal.Worksteal_intf.SCHEDULER)) ->
+        let module W = Worksteal.Workloads.Make (S) in
+        let run workers =
+          let t0 = Unix.gettimeofday () in
+          let got = W.fib ~workers ~capacity:65536 n in
+          let dt = Unix.gettimeofday () -. t0 in
+          assert (got = expect);
+          dt
+        in
+        let t1 = run 1 and t2 = run 2 and t4 = run 4 in
+        [
+          name;
+          Printf.sprintf "%.3fs" t1;
+          Printf.sprintf "%.3fs" t2;
+          Printf.sprintf "%.3fs" t4;
+        ])
+      schedulers
+  in
+  Printf.printf "workload: fib %d (result %d)\n" n expect;
+  Harness.Table.print ~headers:[ "deque"; "1 worker"; "2 workers"; "4 workers" ] rows;
+  note
+    "ABP's restricted CAS-only deque is the cheapest, as Section 1.1\n\
+     concedes; the general DCAS deques pay for unrestricted two-end access"
+
+(* ------------------------------------------------------------------ *)
+(* E9: resilience to stalls (non-blocking claim)                       *)
+(* ------------------------------------------------------------------ *)
+
+module Stalling_mem = Harness.Stall.Mem_stalling (Dcas.Mem_lockfree)
+module Stalling_array = Deque.Array_deque.Make (Stalling_mem)
+
+let e9 ~quick =
+  header "E9  throughput while one thread stalls mid-operation";
+  let duration = dur ~quick 1.2 in
+  let stall = 0.05 in
+  (* lock-free: staller sleeps between two shared accesses of a push *)
+  let lockfree_run ~with_staller =
+    let d = Stalling_array.make ~length:1024 () in
+    for i = 1 to 512 do
+      ignore (Stalling_array.push_right d i)
+    done;
+    let stop = Atomic.make false in
+    let staller =
+      Domain.spawn (fun () ->
+          while not (Atomic.get stop) do
+            if with_staller then begin
+              Harness.Stall.request ~after_ops:2 ~duration:stall;
+              ignore (Stalling_array.push_right d 0)
+            end
+            else Unix.sleepf stall
+          done)
+    in
+    let r =
+      Harness.Runner.run ~threads:2 ~duration (fun ~tid ~rng ->
+          ignore
+            (Harness.Workload.apply
+               ~push_right:(fun v ->
+                 if Stalling_array.push_right d v = `Okay then `Okay else `Full)
+               ~push_left:(fun v ->
+                 if Stalling_array.push_left d v = `Okay then `Okay else `Full)
+               ~pop_right:(fun () ->
+                 match Stalling_array.pop_right d with
+                 | `Value _ -> `Value 0
+                 | `Empty -> `Empty)
+               ~pop_left:(fun () ->
+                 match Stalling_array.pop_left d with
+                 | `Value _ -> `Value 0
+                 | `Empty -> `Empty)
+               Harness.Workload.balanced rng tid))
+    in
+    Atomic.set stop true;
+    Domain.join staller;
+    Harness.Runner.throughput r
+  in
+  (* lock-based: staller sleeps holding the deque's mutex *)
+  let lock_run ~with_staller =
+    let d = Baselines.Lock_deque.create ~capacity:1024 () in
+    for i = 1 to 512 do
+      ignore (Baselines.Lock_deque.push_right d i)
+    done;
+    let stop = Atomic.make false in
+    let staller =
+      Domain.spawn (fun () ->
+          while not (Atomic.get stop) do
+            if with_staller then
+              Baselines.Lock_deque.with_lock_held d (fun () ->
+                  Unix.sleepf stall)
+            else Unix.sleepf stall
+          done)
+    in
+    let r =
+      Harness.Runner.run ~threads:2 ~duration (fun ~tid ~rng ->
+          ignore
+            (Harness.Workload.apply
+               ~push_right:(fun v ->
+                 if Baselines.Lock_deque.push_right d v = `Okay then `Okay
+                 else `Full)
+               ~push_left:(fun v ->
+                 if Baselines.Lock_deque.push_left d v = `Okay then `Okay
+                 else `Full)
+               ~pop_right:(fun () ->
+                 match Baselines.Lock_deque.pop_right d with
+                 | `Value _ -> `Value 0
+                 | `Empty -> `Empty)
+               ~pop_left:(fun () ->
+                 match Baselines.Lock_deque.pop_left d with
+                 | `Value _ -> `Value 0
+                 | `Empty -> `Empty)
+               Harness.Workload.balanced rng tid))
+    in
+    Atomic.set stop true;
+    Domain.join staller;
+    Harness.Runner.throughput r
+  in
+  let rows =
+    [
+      (let base = lockfree_run ~with_staller:false in
+       let stalled = lockfree_run ~with_staller:true in
+       [
+         "array-dcas (stall mid-op)";
+         fmt_tp base;
+         fmt_tp stalled;
+         Harness.Table.pct (stalled /. base);
+       ]);
+      (let base = lock_run ~with_staller:false in
+       let stalled = lock_run ~with_staller:true in
+       [
+         "lock-deque (stall in section)";
+         fmt_tp base;
+         fmt_tp stalled;
+         Harness.Table.pct (stalled /. base);
+       ]);
+    ]
+  in
+  Harness.Table.print
+    ~headers:[ "implementation"; "no staller"; "staller"; "retained" ]
+    rows;
+  note
+    "staller sleeps %.0fms in the middle of an operation, repeatedly;\n\
+     the lock holder stops the world, the DCAS deque does not" (stall *. 1000.)
+
+(* ------------------------------------------------------------------ *)
+(* E10: the optional hints of Figures 2/3 (lines 7 and 17-18)          *)
+(* ------------------------------------------------------------------ *)
+
+let e10 ~quick =
+  header "E10 hints ablation: lines 7 and 17-18 of Figures 2/3";
+  let quota = if quick then 0.2 else 0.4 in
+  (* single-thread costs at the boundary (where the hints live) *)
+  let mk ~hints =
+    let module A = Deque.Array_deque.Lockfree in
+    let d = A.make ~hints ~length:1 () in
+    fun () ->
+      (* each iteration: push into empty, fail a push (full), pop, fail
+         a pop (empty): every boundary path once *)
+      ignore (A.push_right d 1);
+      ignore (A.push_left d 2);
+      ignore (A.pop_left d);
+      ignore (A.pop_right d)
+  in
+  let micro =
+    ns_per_op ~quota
+      [ ("boundary-cycle/hints", mk ~hints:true);
+        ("boundary-cycle/no-hints", mk ~hints:false) ]
+  in
+  Harness.Table.print ~headers:[ "case"; "ns/cycle" ]
+    (List.map (fun (n, v) -> [ n; fmt_ns v ]) micro);
+  (* contended: DCAS traffic with and without hints *)
+  let duration = dur ~quick 0.4 in
+  let contended hints =
+    let f = if hints then array_lockfree else array_nohints in
+    Dcas.Mem_lockfree.reset_stats ();
+    let tp =
+      mixed_throughput ~threads:4 ~duration ~mix:Harness.Workload.balanced f
+        ~capacity:2 ~prefill:1
+    in
+    let s = Dcas.Mem_lockfree.stats () in
+    (tp, s)
+  in
+  let tp_h, s_h = contended true in
+  let tp_n, s_n = contended false in
+  let per_op (s : Dcas.Memory_intf.stats) tp =
+    float_of_int s.Dcas.Memory_intf.dcas_attempts /. (tp *. duration)
+  in
+  Harness.Table.print
+    ~headers:[ "variant"; "ops/s (4 thr, cap 2)"; "dcas/op"; "dcas ok" ]
+    [
+      [
+        "hints";
+        fmt_tp tp_h;
+        Printf.sprintf "%.2f" (per_op s_h tp_h);
+        Harness.Table.pct
+          (float_of_int s_h.Dcas.Memory_intf.dcas_successes
+          /. float_of_int (max 1 s_h.Dcas.Memory_intf.dcas_attempts));
+      ];
+      [
+        "no-hints";
+        fmt_tp tp_n;
+        Printf.sprintf "%.2f" (per_op s_n tp_n);
+        Harness.Table.pct
+          (float_of_int s_n.Dcas.Memory_intf.dcas_successes
+          /. float_of_int (max 1 s_n.Dcas.Memory_intf.dcas_attempts));
+      ];
+    ];
+  note
+    "the paper: 'Experimentation would be required to determine whether\n\
+     either or both of these code fragments should be included' — here is\n\
+     that experimentation on this substrate"
+
+(* ------------------------------------------------------------------ *)
+(* E11: deleted bit vs dummy nodes (footnote 4 / Figure 10)            *)
+(* ------------------------------------------------------------------ *)
+
+let e11 ~quick =
+  header "E11 deleted-bit vs dummy-node encoding (Figure 10)";
+  let quota = if quick then 0.2 else 0.4 in
+  let module L = Deque.List_deque.Lockfree in
+  let module D = Deque.List_deque_dummy.Lockfree in
+  let l = L.make () in
+  let d = D.make () in
+  let micro =
+    ns_per_op ~quota
+      [
+        ( "deleted-bit/push+pop",
+          fun () ->
+            ignore (L.push_right l 1);
+            ignore (L.pop_right l) );
+        ( "dummy-node/push+pop",
+          fun () ->
+            ignore (D.push_right d 1);
+            ignore (D.pop_right d) );
+      ]
+  in
+  (* allocation per push+pop cycle *)
+  let alloc_per_cycle f =
+    let cycles = 100_000 in
+    let before = Gc.allocated_bytes () in
+    for i = 1 to cycles do
+      f i
+    done;
+    (Gc.allocated_bytes () -. before) /. float_of_int cycles
+  in
+  let l2 = L.make () and d2 = D.make () in
+  let bit_alloc =
+    alloc_per_cycle (fun i ->
+        ignore (L.push_right l2 i);
+        ignore (L.pop_right l2))
+  in
+  let dummy_alloc =
+    alloc_per_cycle (fun i ->
+        ignore (D.push_right d2 i);
+        ignore (D.pop_right d2))
+  in
+  let duration = dur ~quick 0.4 in
+  let tp f =
+    mixed_throughput ~threads:4 ~duration ~mix:Harness.Workload.balanced f
+      ~capacity:1024 ~prefill:64
+  in
+  let tp_bit = tp list_lockfree and tp_dummy = tp dummy_lockfree in
+  Harness.Table.print
+    ~headers:[ "encoding"; "ns/cycle (1 thr)"; "bytes/cycle"; "ops/s (4 thr)" ]
+    [
+      [
+        "deleted-bit";
+        fmt_ns (List.assoc "deleted-bit/push+pop" micro);
+        Printf.sprintf "%.0f" bit_alloc;
+        fmt_tp tp_bit;
+      ];
+      [
+        "dummy-node";
+        fmt_ns (List.assoc "dummy-node/push+pop" micro);
+        Printf.sprintf "%.0f" dummy_alloc;
+        fmt_tp tp_dummy;
+      ];
+    ];
+  note
+    "the dummy encoding trades the pointer tag bit for one extra\n\
+     allocation per pop (the dummy), visible in bytes/cycle"
+
+(* ------------------------------------------------------------------ *)
+(* E12: one algorithm, four DCAS substrates                            *)
+(* ------------------------------------------------------------------ *)
+
+let e12 ~quick =
+  header "E12 the same deques over each DCAS implementation (Section 2.1)";
+  let duration = dur ~quick 0.35 in
+  let groups =
+    [
+      ("array", [ array_lockfree; array_locked; array_striped ]);
+      ("list", [ list_lockfree; list_locked; list_striped ]);
+    ]
+  in
+  List.iter
+    (fun (g, factories) ->
+      let rows =
+        List.map
+          (fun f ->
+            let tp t =
+              mixed_throughput ~threads:t ~duration
+                ~mix:Harness.Workload.balanced f ~capacity:1024 ~prefill:512
+            in
+            let t1 = tp 1 and t4 = tp 4 in
+            [ f.f_name; fmt_tp t1; fmt_tp t4; Harness.Table.ratio (t4 /. t1) ])
+          factories
+      in
+      Printf.printf "\n-- %s deque --\n" g;
+      Harness.Table.print
+        ~headers:[ "substrate"; "1 thr"; "4 thr"; "4t/1t" ]
+        rows)
+    groups;
+  note
+    "\nthe global lock serializes even reads; stripes recover most of it;\n\
+     the lock-free CASN costs more per op but never blocks (cf. E9/E14)"
+
+(* ------------------------------------------------------------------ *)
+(* E13: verification volume (Theorems 3.1/4.1, empirically)            *)
+(* ------------------------------------------------------------------ *)
+
+let e13 ~quick =
+  header "E13 verification volume: exhaustive + recorded histories";
+  let open Spec.Op in
+  (* exhaustive side: the scenario battery *)
+  let battery =
+    [
+      ( "array fig6",
+        Modelcheck.Scenario.array_deque ~name:"b1" ~length:4 ~prefill:[ 1 ]
+          [ [ Pop_right ]; [ Pop_left ] ] );
+      ( "array 3-thread",
+        Modelcheck.Scenario.array_deque ~name:"b2" ~length:3 ~prefill:[ 1 ]
+          [ [ Pop_right ]; [ Pop_left ]; [ Push_right 9 ] ] );
+      ( "list fig16",
+        Modelcheck.Scenario.list_deque ~name:"b3" ~prefill:[ 1; 2 ]
+          ~setup:[ Pop_right; Pop_left ]
+          [ [ Push_right 3 ]; [ Push_left 4 ] ] );
+      ( "list push/push",
+        Modelcheck.Scenario.list_deque ~name:"b4" ~prefill:[]
+          [ [ Push_right 1 ]; [ Push_left 2 ] ] );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, s) ->
+        let o = Modelcheck.Explorer.explore s in
+        [
+          label;
+          string_of_int o.Modelcheck.Explorer.schedules;
+          (match o.Modelcheck.Explorer.error with
+          | None -> "ok"
+          | Some f -> "FAILED: " ^ f.Modelcheck.Explorer.reason);
+        ])
+      battery
+  in
+  Harness.Table.print ~headers:[ "scenario"; "schedules"; "verdict" ] rows;
+  (* recorded-history side *)
+  let rounds = cnt ~quick 60 in
+  let threads = 3 and ops_per_thread = 8 in
+  (* Full value-tracked rounds (same machinery as the test suite). *)
+  let value_rounds label (make_apply : unit -> int Spec.Op.op -> int Spec.Op.res)
+      ~capacity =
+    let failures = ref 0 in
+    let total_ops = ref 0 in
+    for seed = 1 to rounds do
+      let apply = make_apply () in
+      let recorder = Spec.History.Recorder.create ~threads in
+      let master = Harness.Splitmix.create ~seed in
+      let rngs = Array.init threads (fun _ -> Harness.Splitmix.split master) in
+      let started = Atomic.make 0 in
+      let worker tid () =
+        let rng = rngs.(tid) in
+        Atomic.incr started;
+        while Atomic.get started < threads do
+          Domain.cpu_relax ()
+        done;
+        for i = 1 to ops_per_thread do
+          let op =
+            match Harness.Splitmix.int rng ~bound:4 with
+            | 0 -> Push_right ((tid * 1000) + i)
+            | 1 -> Push_left ((tid * 1000) + i)
+            | 2 -> Pop_right
+            | _ -> Pop_left
+          in
+          ignore
+            (Spec.History.Recorder.record recorder ~thread:tid op (fun () ->
+                 apply op))
+        done
+      in
+      let ds = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+      List.iter Domain.join ds;
+      total_ops := !total_ops + (threads * ops_per_thread);
+      match
+        Spec.Linearizability.check_deque ?capacity
+          (Spec.History.Recorder.history recorder)
+      with
+      | Ok _ -> ()
+      | Error () -> incr failures
+    done;
+    [ label; string_of_int rounds; string_of_int !total_ops;
+      string_of_int !failures ]
+  in
+  let array_apply () =
+    let module A = Deque.Array_deque.Lockfree in
+    let d = A.make ~length:4 () in
+    fun (op : int Spec.Op.op) ->
+      match op with
+      | Push_right v -> Deque.Deque_intf.res_of_push (A.push_right d v)
+      | Push_left v -> Deque.Deque_intf.res_of_push (A.push_left d v)
+      | Pop_right -> Deque.Deque_intf.res_of_pop (A.pop_right d)
+      | Pop_left -> Deque.Deque_intf.res_of_pop (A.pop_left d)
+  in
+  let list_apply () =
+    let module L = Deque.List_deque.Lockfree in
+    let d = L.make () in
+    fun (op : int Spec.Op.op) ->
+      match op with
+      | Push_right v -> Deque.Deque_intf.res_of_push (L.push_right d v)
+      | Push_left v -> Deque.Deque_intf.res_of_push (L.push_left d v)
+      | Pop_right -> Deque.Deque_intf.res_of_pop (L.pop_right d)
+      | Pop_left -> Deque.Deque_intf.res_of_pop (L.pop_left d)
+  in
+  Harness.Table.print
+    ~headers:[ "implementation"; "rounds"; "ops checked"; "failures" ]
+    [
+      value_rounds "array (3 domains, recorded)" array_apply ~capacity:(Some 4);
+      value_rounds "list (3 domains, recorded)" list_apply ~capacity:None;
+    ];
+  note "Wing&Gong checking of real concurrent histories, plus the battery above"
+
+(* ------------------------------------------------------------------ *)
+(* E14: lock-freedom stall points                                      *)
+(* ------------------------------------------------------------------ *)
+
+let e14 ~quick =
+  ignore quick;
+  header "E14 lock-freedom: every stall point of a victim survived";
+  let open Spec.Op in
+  let cases =
+    [
+      ( "array, victim pushes+pops",
+        Modelcheck.Scenario.array_deque ~name:"n1" ~length:3 ~prefill:[ 1 ]
+          [ [ Pop_right; Push_right 2 ]; [ Pop_left ]; [ Push_left 3 ] ],
+        0 );
+      ( "list, victim pops (split deletion)",
+        Modelcheck.Scenario.list_deque ~name:"n2" ~prefill:[ 1; 2 ]
+          [ [ Pop_right; Push_right 3 ]; [ Pop_left ]; [ Push_left 4 ] ],
+        0 );
+      ( "list, victim completes Fig 16 deletes",
+        Modelcheck.Scenario.list_deque ~name:"n3" ~prefill:[ 1; 2 ]
+          ~setup:[ Pop_right; Pop_left ]
+          [ [ Push_right 3 ]; [ Push_left 4 ]; [ Pop_right ] ],
+        0 );
+      ( "dummy variant",
+        Modelcheck.Scenario.list_deque_dummy ~name:"n4" ~prefill:[ 1; 2 ]
+          ~setup:[ Pop_right; Pop_left ]
+          [ [ Push_right 3 ]; [ Push_left 4 ] ],
+        1 );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, scenario, victim) ->
+        match Modelcheck.Explorer.check_nonblocking scenario ~victim with
+        | Ok n -> [ label; string_of_int n; "all completed" ]
+        | Error j -> [ label; string_of_int j; "BLOCKED" ])
+      cases
+  in
+  Harness.Table.print
+    ~headers:[ "scenario (victim frozen mid-operation)"; "stall points"; "others" ]
+    rows;
+  note
+    "for contrast, a lock-based deque fails this by construction: a victim\n\
+     frozen inside the critical section blocks every other thread (E9)"
+
+(* ------------------------------------------------------------------ *)
+(* E15: what a 3-word CAS would buy (extension; Section 6's question)  *)
+(* ------------------------------------------------------------------ *)
+
+let casn3_lockfree = of_list_dummy (module Deque.List_deque_casn.Lockfree)
+
+let e15 ~quick =
+  header "E15 extension: DCAS split pop vs single 3-word-CAS pop";
+  let quota = if quick then 0.2 else 0.4 in
+  (* atomic-operation count per pop, on the sequential substrate *)
+  let ops_per_pop label prefill_push pop delete =
+    Dcas.Mem_seq.reset_stats ();
+    prefill_push ();
+    let before = (Dcas.Mem_seq.stats ()).Dcas.Memory_intf.dcas_attempts in
+    pop ();
+    delete ();
+    let after = (Dcas.Mem_seq.stats ()).Dcas.Memory_intf.dcas_attempts in
+    (label, after - before)
+  in
+  let module L = Deque.List_deque.Sequential in
+  let module C = Deque.List_deque_casn.Sequential in
+  let l = L.make () and c = C.make () in
+  let counts =
+    [
+      ops_per_pop "dcas-split"
+        (fun () -> ignore (L.push_right l 1))
+        (fun () -> ignore (L.pop_right l))
+        (fun () -> L.delete_right l);
+      ops_per_pop "3cas-direct"
+        (fun () -> ignore (C.push_right c 1))
+        (fun () -> ignore (C.pop_right c))
+        (fun () -> C.delete_right c);
+    ]
+  in
+  (* single-thread cycle latency on the lock-free substrate *)
+  let module Ll = Deque.List_deque.Lockfree in
+  let module Dl = Deque.List_deque_dummy.Lockfree in
+  let module Cl = Deque.List_deque_casn.Lockfree in
+  let ll = Ll.make () and dl = Dl.make () and cl = Cl.make () in
+  let micro =
+    ns_per_op ~quota
+      [
+        ( "dcas-split/push+pop",
+          fun () ->
+            ignore (Ll.push_right ll 1);
+            ignore (Ll.pop_right ll) );
+        ( "dcas-dummy/push+pop",
+          fun () ->
+            ignore (Dl.push_right dl 1);
+            ignore (Dl.pop_right dl) );
+        ( "3cas-direct/push+pop",
+          fun () ->
+            ignore (Cl.push_right cl 1);
+            ignore (Cl.pop_right cl) );
+      ]
+  in
+  let duration = dur ~quick 0.4 in
+  let tp f =
+    mixed_throughput ~threads:4 ~duration ~mix:Harness.Workload.balanced f
+      ~capacity:1024 ~prefill:64
+  in
+  let tp_split = tp list_lockfree in
+  let tp_dummy = tp dummy_lockfree in
+  let tp_casn = tp casn3_lockfree in
+  Harness.Table.print
+    ~headers:
+      [ "pop strategy"; "atomic ops/uncontended pop"; "ns/push+pop (1 thr)";
+        "ops/s (4 thr)" ]
+    [
+      [
+        "dcas split (paper, Section 4)";
+        string_of_int (List.assoc "dcas-split" counts);
+        fmt_ns (List.assoc "dcas-split/push+pop" micro);
+        fmt_tp tp_split;
+      ];
+      [
+        "dcas split + dummy nodes (Fig 10)";
+        "-";
+        fmt_ns (List.assoc "dcas-dummy/push+pop" micro);
+        fmt_tp tp_dummy;
+      ];
+      [
+        "single 3-word CAS (extension)";
+        string_of_int (List.assoc "3cas-direct" counts);
+        fmt_ns (List.assoc "3cas-direct/push+pop" micro);
+        fmt_tp tp_casn;
+      ];
+    ];
+  note
+    "the 3CAS pop eliminates the split (no deleted bits, no delete\n\
+     procedures) at the price of a wider atomic operation; its third\n\
+     entry is a neighborhood validation DCAS cannot express (the 2-entry\n\
+     variant is provably unsound: see test_list_deque_casn.ml)"
+
+(* ------------------------------------------------------------------ *)
+(* E16: what does the GC assumption protect? (Section 1.1, footnote 2) *)
+(* ------------------------------------------------------------------ *)
+
+let e16 ~quick =
+  header "E16 node recycling: probing the paper's GC assumption";
+  let open Spec.Op in
+  (* model-check the recycling variant on ABA-friendly scenarios:
+     freed nodes reused immediately, with repeated values so a stale
+     expectation could match a recycled node *)
+  let scenarios =
+    [
+      ( "popR;pushR(2) vs popL, prefill [2]",
+        Modelcheck.Scenario.list_deque ~recycle:true ~name:"r2" ~prefill:[ 2 ]
+          [ [ Pop_right; Push_right 2 ]; [ Pop_left ] ] );
+      ( "popL;pushR(1) vs popR, prefill [1]",
+        Modelcheck.Scenario.list_deque ~recycle:true ~name:"r3" ~prefill:[ 1 ]
+          [ [ Pop_left; Push_right 1 ]; [ Pop_right ] ] );
+      ( "pending deletion + pushR(2) vs popR",
+        Modelcheck.Scenario.list_deque ~recycle:true ~name:"r4"
+          ~prefill:[ 1; 2 ] ~setup:[ Pop_right ]
+          [ [ Push_right 2 ]; [ Pop_right ] ] );
+      ( "both deleted + same-value pushes",
+        Modelcheck.Scenario.list_deque ~recycle:true ~name:"r5"
+          ~prefill:[ 1; 2 ] ~setup:[ Pop_right; Pop_left ]
+          [ [ Push_right 2 ]; [ Push_left 1 ] ] );
+    ]
+  in
+  let max_schedules = if quick then 300_000 else 2_000_000 in
+  let rows =
+    List.map
+      (fun (label, s) ->
+        let o = Modelcheck.Explorer.explore ~max_schedules s in
+        [
+          label;
+          string_of_int o.Modelcheck.Explorer.schedules;
+          (if o.Modelcheck.Explorer.exhaustive then "yes" else "no");
+          (match o.Modelcheck.Explorer.error with
+          | None -> "no violation"
+          | Some f -> "VIOLATION: " ^ f.Modelcheck.Explorer.reason);
+        ])
+      scenarios
+  in
+  Harness.Table.print
+    ~headers:[ "scenario (recycle, repeated values)"; "schedules"; "exhaustive"; "verdict" ]
+    rows;
+  (* multiset-conservation stress under recycling with a tiny value
+     domain (maximizing recycled-node value coincidences) *)
+  let module L = Deque.List_deque.Lockfree in
+  let q = L.make ~recycle:true () in
+  let n_vals = 3 in
+  let iters = cnt ~quick 40_000 in
+  let pushed = Array.init 4 (fun _ -> Array.make n_vals 0) in
+  let popped = Array.init 4 (fun _ -> Array.make n_vals 0) in
+  let _ =
+    Harness.Runner.run_fixed ~threads:4 ~iters (fun ~tid ~rng ~i:_ ->
+        let v = Harness.Splitmix.int rng ~bound:n_vals in
+        match Harness.Splitmix.int rng ~bound:4 with
+        | 0 ->
+            if L.push_right q v = `Okay then
+              pushed.(tid).(v) <- pushed.(tid).(v) + 1
+        | 1 ->
+            if L.push_left q v = `Okay then
+              pushed.(tid).(v) <- pushed.(tid).(v) + 1
+        | 2 -> (
+            match L.pop_right q with
+            | `Value v -> popped.(tid).(v) <- popped.(tid).(v) + 1
+            | `Empty -> ())
+        | _ -> (
+            match L.pop_left q with
+            | `Value v -> popped.(tid).(v) <- popped.(tid).(v) + 1
+            | `Empty -> ()))
+  in
+  let remaining = L.unsafe_to_list q in
+  let conserved = ref true in
+  for v = 0 to n_vals - 1 do
+    let p = Array.fold_left (fun a t -> a + t.(v)) 0 pushed in
+    let g = Array.fold_left (fun a t -> a + t.(v)) 0 popped in
+    let rem = List.length (List.filter (fun x -> x = v) remaining) in
+    if p <> g + rem then conserved := false
+  done;
+  let inv = match L.check_invariant q with Ok () -> "ok" | Error e -> e in
+  Printf.printf
+    "\nstress (4 threads x %d ops, values in {0,1,2}): multiset conserved = %b, invariant %s\n"
+    iters !conserved inv;
+  note
+    "NEGATIVE RESULT: immediate node reuse produces no observable ABA in\n\
+     any explored schedule — every DCAS in the Section 4 algorithm\n\
+     (pointer word incl. bit + value cell, or two pointer words) fully\n\
+     pins the state it relies on, so a recycled node that matches the\n\
+     expectations IS in the expected configuration.  The paper's GC\n\
+     assumption therefore buys memory safety (no dangling reads in an\n\
+     unmanaged language), not ABA protection, for this algorithm.\n\
+     Caveat: bounded exploration (2-3 threads, small windows), not a proof"
+
+(* ------------------------------------------------------------------ *)
+
+type experiment = { id : string; title : string; run : quick:bool -> unit }
+
+let all : experiment list =
+  [
+    { id = "e1"; title = "array boundary behaviour"; run = e1 };
+    { id = "e2"; title = "contended pops (Figs 5/6)"; run = e2 };
+    { id = "e3"; title = "list empty states (Figs 9/16)"; run = e3 };
+    { id = "e4"; title = "primitive cost hierarchy"; run = e4 };
+    { id = "e5"; title = "two-end independence"; run = e5 };
+    { id = "e6"; title = "Greenwald v2 flaw"; run = e6 };
+    { id = "e7"; title = "array vs list throughput"; run = e7 };
+    { id = "e7b"; title = "latency distribution"; run = e7_latency };
+    { id = "e8"; title = "work stealing"; run = e8 };
+    { id = "e9"; title = "stall resilience"; run = e9 };
+    { id = "e10"; title = "hints ablation"; run = e10 };
+    { id = "e11"; title = "deleted-bit vs dummy"; run = e11 };
+    { id = "e12"; title = "DCAS substrates"; run = e12 };
+    { id = "e13"; title = "verification volume"; run = e13 };
+    { id = "e14"; title = "lock-freedom stall points"; run = e14 };
+    { id = "e15"; title = "3-word CAS extension"; run = e15 };
+    { id = "e16"; title = "GC assumption probe"; run = e16 };
+  ]

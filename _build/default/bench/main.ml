@@ -1,0 +1,54 @@
+(* Experiment driver: regenerates every table of EXPERIMENTS.md.
+
+     dune exec bench/main.exe                 # all experiments
+     dune exec bench/main.exe -- e5 e7        # a selection
+     dune exec bench/main.exe -- --quick      # fast smoke pass
+
+   Experiment ids map to paper artifacts via the index in DESIGN.md. *)
+
+open Cmdliner
+
+let run_selected quick ids =
+  let selected =
+    match ids with
+    | [] -> Experiments.all
+    | ids ->
+        List.filter_map
+          (fun id ->
+            match
+              List.find_opt (fun e -> e.Experiments.id = id) Experiments.all
+            with
+            | Some e -> Some e
+            | None ->
+                Printf.eprintf "unknown experiment %S (have: %s)\n" id
+                  (String.concat ", "
+                     (List.map (fun e -> e.Experiments.id) Experiments.all));
+                exit 2)
+          ids
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun e ->
+      let t = Unix.gettimeofday () in
+      e.Experiments.run ~quick;
+      Printf.printf "[%s done in %.1fs]\n%!" e.Experiments.id
+        (Unix.gettimeofday () -. t))
+    selected;
+  Printf.printf "\nall selected experiments completed in %.1fs\n"
+    (Unix.gettimeofday () -. t0)
+
+let quick =
+  let doc = "Shrink durations and sample counts (smoke run)." in
+  Arg.(value & flag & info [ "q"; "quick" ] ~doc)
+
+let ids =
+  let doc = "Experiment ids to run (default: all). E.g. e4 e7." in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let cmd =
+  let doc = "DCAS deque experiment tables (E1-E14)" in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(const run_selected $ quick $ ids)
+
+let () = exit (Cmd.eval cmd)

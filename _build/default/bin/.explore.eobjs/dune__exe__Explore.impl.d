@@ -1,0 +1,1 @@
+bin/explore.ml: Arg Cmd Cmdliner Format List Modelcheck Printf Result Spec String Term

@@ -1,0 +1,1 @@
+bin/stress.ml: Arg Baselines Cmd Cmdliner Dcas Deque Format Harness List Printf String Term

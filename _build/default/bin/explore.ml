@@ -1,0 +1,206 @@
+(* Model-checker CLI: explore all interleavings of scripted deque
+   operations against any of the implementations.
+
+     dune exec bin/explore.exe -- --algo list --prefill 1,2 \
+         --setup qr,ql --thread pr:3 --thread pl:4
+
+   Scripts use a tiny operation DSL, comma-separated per thread:
+
+     pr:V  pushRight(V)      pl:V  pushLeft(V)
+     qr    popRight()        ql    popLeft()
+
+   Modes: exhaustive DFS (default), random sampling (--sample N), and
+   the lock-freedom check (--victim I freezes thread I at every one of
+   its reachable step counts and requires the others to finish). *)
+
+open Cmdliner
+
+let parse_ops s =
+  if String.trim s = "" then Ok []
+  else
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.fold_left
+         (fun acc tok ->
+           match acc with
+           | Error _ as e -> e
+           | Ok ops -> (
+               match String.split_on_char ':' tok with
+               | [ "qr" ] -> Ok (Spec.Op.Pop_right :: ops)
+               | [ "ql" ] -> Ok (Spec.Op.Pop_left :: ops)
+               | [ "pr"; v ] -> (
+                   match int_of_string_opt v with
+                   | Some v -> Ok (Spec.Op.Push_right v :: ops)
+                   | None -> Error (`Msg ("bad value in " ^ tok)))
+               | [ "pl"; v ] -> (
+                   match int_of_string_opt v with
+                   | Some v -> Ok (Spec.Op.Push_left v :: ops)
+                   | None -> Error (`Msg ("bad value in " ^ tok)))
+               | _ -> Error (`Msg ("unknown op " ^ tok))))
+         (Ok [])
+    |> Result.map List.rev
+
+let parse_ints s =
+  if String.trim s = "" then Ok []
+  else
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.fold_left
+         (fun acc tok ->
+           match (acc, int_of_string_opt tok) with
+           | (Error _ as e), _ -> e
+           | Ok xs, Some v -> Ok (v :: xs)
+           | Ok _, None -> Error (`Msg ("bad integer " ^ tok)))
+         (Ok [])
+    |> Result.map List.rev
+
+let ops_conv =
+  Arg.conv
+    ( parse_ops,
+      fun ppf ops ->
+        Format.fprintf ppf "%s"
+          (String.concat ","
+             (List.map
+                (fun op ->
+                  Format.asprintf "%a" (Spec.Op.pp_op Format.pp_print_int) op)
+                ops)) )
+
+let ints_conv =
+  Arg.conv
+    ( parse_ints,
+      fun ppf xs ->
+        Format.fprintf ppf "%s" (String.concat "," (List.map string_of_int xs))
+    )
+
+let scenario_of ~algo ~length ~prefill ~setup ~threads =
+  let threads = if threads = [] then [ [ Spec.Op.Pop_right ] ] else threads in
+  match algo with
+  | "array" ->
+      Ok
+        (Modelcheck.Scenario.array_deque ~name:"cli" ~length ~prefill ~setup
+           threads)
+  | "array-no-hints" ->
+      Ok
+        (Modelcheck.Scenario.array_deque ~hints:false ~name:"cli" ~length
+           ~prefill ~setup threads)
+  | "list" ->
+      Ok (Modelcheck.Scenario.list_deque ~name:"cli" ~prefill ~setup threads)
+  | "list-recycle" ->
+      Ok
+        (Modelcheck.Scenario.list_deque ~recycle:true ~name:"cli" ~prefill
+           ~setup threads)
+  | "3cas" ->
+      Ok
+        (Modelcheck.Scenario.list_deque_casn ~name:"cli" ~prefill ~setup
+           threads)
+  | "dummy" ->
+      Ok
+        (Modelcheck.Scenario.list_deque_dummy ~name:"cli" ~prefill ~setup
+           threads)
+  | "greenwald1" ->
+      Ok
+        (Modelcheck.Scenario.greenwald_v1 ~name:"cli" ~length ~prefill ~setup
+           threads)
+  | "greenwald2" ->
+      Ok
+        (Modelcheck.Scenario.greenwald_v2 ~name:"cli" ~length ~prefill ~setup
+           threads)
+  | other -> Error ("unknown algorithm: " ^ other)
+
+let run algo length prefill setup threads sample seed victim max_schedules =
+  match scenario_of ~algo ~length ~prefill ~setup ~threads with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok scenario -> (
+      match victim with
+      | Some v -> (
+          match Modelcheck.Explorer.check_nonblocking scenario ~victim:v with
+          | Ok n ->
+              Printf.printf
+                "non-blocking: all other threads completed at every one of \
+                 the victim's %d stall points\n"
+                n;
+              0
+          | Error j ->
+              Printf.printf "BLOCKED: stall point %d prevented completion\n" j;
+              1)
+      | None -> (
+          let outcome =
+            match sample with
+            | Some n -> Modelcheck.Explorer.sample ~schedules:n ~seed scenario
+            | None -> Modelcheck.Explorer.explore ~max_schedules scenario
+          in
+          Format.printf "%a@." Modelcheck.Explorer.pp_outcome outcome;
+          match outcome.Modelcheck.Explorer.error with
+          | None -> 0
+          | Some _ -> 1))
+
+let algo =
+  Arg.(
+    value
+    & opt string "array"
+    & info [ "algo"; "a" ] ~docv:"ALGO"
+        ~doc:
+          "Algorithm: array, array-no-hints, list, list-recycle, dummy, \
+           3cas, greenwald1, greenwald2.")
+
+let length =
+  Arg.(
+    value & opt int 4
+    & info [ "length" ] ~docv:"N" ~doc:"Array length (bounded algorithms).")
+
+let prefill =
+  Arg.(
+    value
+    & opt ints_conv []
+    & info [ "prefill" ] ~docv:"V,V,.." ~doc:"Values pushed right initially.")
+
+let setup =
+  Arg.(
+    value
+    & opt ops_conv []
+    & info [ "setup" ]
+        ~docv:"OPS"
+        ~doc:
+          "Operations run quiescently before exploration (DSL: pr:V, pl:V, \
+           qr, ql).")
+
+let threads =
+  Arg.(
+    value
+    & opt_all ops_conv []
+    & info [ "thread"; "t" ] ~docv:"OPS"
+        ~doc:"One thread's scripted operations; repeatable.")
+
+let sample =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sample" ] ~docv:"N"
+        ~doc:"Sample N random schedules instead of exhaustive DFS.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Sampling seed.")
+
+let victim =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "victim" ] ~docv:"I"
+        ~doc:"Lock-freedom check: freeze thread I at every stall point.")
+
+let max_schedules =
+  Arg.(
+    value
+    & opt int 2_000_000
+    & info [ "max-schedules" ] ~docv:"N" ~doc:"DFS budget.")
+
+let cmd =
+  let doc = "explore interleavings of deque operations (bounded model checking)" in
+  Cmd.v
+    (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ algo $ length $ prefill $ setup $ threads $ sample $ seed
+      $ victim $ max_schedules)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,164 @@
+(* Stress / throughput CLI over every deque implementation.
+
+     dune exec bin/stress.exe -- --impl list-lockfree --threads 4 \
+         --duration 2 --mix balanced
+
+   Prints throughput and, for implementations over the lock-free DCAS
+   substrate, the DCAS attempt/success counters accumulated during the
+   run. *)
+
+open Cmdliner
+
+type impl = {
+  name : string;
+  run :
+    threads:int ->
+    duration:float ->
+    mix:Harness.Workload.mix ->
+    capacity:int ->
+    prefill:int ->
+    float;
+}
+
+let make_impl (type t) name ~(create : capacity:int -> unit -> t)
+    ~(push_right : t -> int -> Deque.Deque_intf.push_result)
+    ~(push_left : t -> int -> Deque.Deque_intf.push_result)
+    ~(pop_right : t -> int Deque.Deque_intf.pop_result)
+    ~(pop_left : t -> int Deque.Deque_intf.pop_result) =
+  {
+    name;
+    run =
+      (fun ~threads ~duration ~mix ~capacity ~prefill ->
+        let d = create ~capacity () in
+        for i = 1 to prefill do
+          match
+            if i mod 2 = 0 then push_right d i else push_left d i
+          with
+          | `Okay -> ()
+          | `Full -> invalid_arg "prefill exceeds capacity"
+        done;
+        let r =
+          Harness.Runner.run ~threads ~duration (fun ~tid ~rng ->
+              ignore
+                (Harness.Workload.apply
+                   ~push_right:(fun v -> push_right d v)
+                   ~push_left:(fun v -> push_left d v)
+                   ~pop_right:(fun () -> pop_right d)
+                   ~pop_left:(fun () -> pop_left d)
+                   mix rng tid))
+        in
+        Harness.Runner.throughput r);
+  }
+
+let impls : impl list =
+  [
+    (let module D = Deque.Array_deque.Lockfree in
+    make_impl "array-lockfree"
+      ~create:(fun ~capacity () -> D.make ~length:capacity ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+    (let module D = Deque.Array_deque.Locked in
+    make_impl "array-locked"
+      ~create:(fun ~capacity () -> D.make ~length:capacity ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+    (let module D = Deque.List_deque.Lockfree in
+    make_impl "list-lockfree"
+      ~create:(fun ~capacity:_ () -> D.make ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+    (let module D = Deque.List_deque_dummy.Lockfree in
+    make_impl "dummy-lockfree"
+      ~create:(fun ~capacity:_ () -> D.make ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+    (let module D = Deque.List_deque_casn.Lockfree in
+    make_impl "3cas-lockfree"
+      ~create:(fun ~capacity:_ () -> D.make ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+    (let module D = Deque.List_deque.Lockfree in
+    make_impl "list-recycle"
+      ~create:(fun ~capacity:_ () -> D.make ~recycle:true ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+    (let module D = Baselines.Lock_deque in
+    make_impl "lock"
+      ~create:(fun ~capacity () -> D.create ~capacity ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+    (let module D = Baselines.Spin_deque in
+    make_impl "spin"
+      ~create:(fun ~capacity () -> D.create ~capacity ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+    (let module D = Baselines.Greenwald_v1.Lockfree in
+    make_impl "greenwald1"
+      ~create:(fun ~capacity () -> D.make ~length:capacity ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+  ]
+
+let mix_of = function
+  | "balanced" -> Ok Harness.Workload.balanced
+  | "push-heavy" -> Ok Harness.Workload.push_heavy
+  | "pop-heavy" -> Ok Harness.Workload.pop_heavy
+  | "fifo" -> Ok Harness.Workload.fifo
+  | "lifo" -> Ok Harness.Workload.lifo_right
+  | m -> Error ("unknown mix: " ^ m)
+
+let run impl_name threads duration mix_name capacity prefill =
+  match
+    ( List.find_opt (fun i -> i.name = impl_name) impls,
+      mix_of mix_name )
+  with
+  | None, _ ->
+      Printf.eprintf "unknown implementation %s (have: %s)\n" impl_name
+        (String.concat ", " (List.map (fun i -> i.name) impls));
+      2
+  | _, Error e ->
+      prerr_endline e;
+      2
+  | Some impl, Ok mix ->
+      Dcas.Mem_lockfree.reset_stats ();
+      let tp = impl.run ~threads ~duration ~mix ~capacity ~prefill in
+      Printf.printf "%s: %s ops/s (%d threads, %.1fs, mix %s)\n" impl.name
+        (Harness.Table.ops_per_sec tp)
+        threads duration mix_name;
+      let s = Dcas.Mem_lockfree.stats () in
+      if s.Dcas.Memory_intf.dcas_attempts > 0 then
+        Printf.printf "lock-free substrate: %s\n"
+          (Format.asprintf "%a" Dcas.Memory_intf.pp_stats s);
+      0
+
+let impl_arg =
+  Arg.(
+    value
+    & opt string "array-lockfree"
+    & info [ "impl"; "i" ] ~docv:"IMPL" ~doc:"Implementation to drive.")
+
+let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~docv:"N" ~doc:"Domains.")
+
+let duration =
+  Arg.(value & opt float 1.0 & info [ "duration"; "d" ] ~docv:"SEC" ~doc:"Seconds.")
+
+let mix =
+  Arg.(
+    value
+    & opt string "balanced"
+    & info [ "mix"; "m" ] ~docv:"MIX"
+        ~doc:"balanced, push-heavy, pop-heavy, fifo, lifo.")
+
+let capacity =
+  Arg.(value & opt int 1024 & info [ "capacity"; "c" ] ~docv:"N" ~doc:"Capacity.")
+
+let prefill =
+  Arg.(value & opt int 512 & info [ "prefill"; "p" ] ~docv:"N" ~doc:"Initial items.")
+
+let cmd =
+  let doc = "multi-domain deque throughput" in
+  Cmd.v
+    (Cmd.info "stress" ~doc)
+    Term.(const run $ impl_arg $ threads $ duration $ mix $ capacity $ prefill)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/model_explore.ml: Format Modelcheck Printf Spec Unix

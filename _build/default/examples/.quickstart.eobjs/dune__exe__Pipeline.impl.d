@@ -1,0 +1,1 @@
+examples/pipeline.ml: Deque Domain Printf Unix

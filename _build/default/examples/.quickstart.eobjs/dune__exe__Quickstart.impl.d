@@ -1,0 +1,1 @@
+examples/quickstart.ml: Deque Domain Printf Unix

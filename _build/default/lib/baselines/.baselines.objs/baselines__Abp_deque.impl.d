@@ -1,0 +1,1 @@
+lib/baselines/abp_deque.ml: Array Atomic

@@ -1,0 +1,1 @@
+lib/baselines/abp_deque.mli: Deque

@@ -1,0 +1,1 @@
+lib/baselines/greenwald_v1.ml: Array Dcas Deque List

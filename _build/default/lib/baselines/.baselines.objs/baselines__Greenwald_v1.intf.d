@@ -1,0 +1,1 @@
+lib/baselines/greenwald_v1.mli: Dcas Deque

@@ -1,0 +1,1 @@
+lib/baselines/greenwald_v2.mli: Dcas Deque

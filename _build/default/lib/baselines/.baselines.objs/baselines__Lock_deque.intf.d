@@ -1,0 +1,1 @@
+lib/baselines/lock_deque.mli: Deque

@@ -1,0 +1,1 @@
+lib/baselines/spin_deque.mli: Deque

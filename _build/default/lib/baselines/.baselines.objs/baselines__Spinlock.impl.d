@@ -1,0 +1,1 @@
+lib/baselines/spinlock.ml: Atomic Dcas Domain

@@ -1,0 +1,98 @@
+(* The CAS-only work-stealing deque of Arora, Blumofe and Plaxton [4]
+   ("Thread scheduling for multiprogrammed multiprocessors", SPAA
+   1998), the restricted baseline the paper contrasts with: one end
+   (the bottom) is accessed only by its owning thread, the other end
+   (the top) supports only pops (steals).  Those restrictions are what
+   let it synchronize with single-word CAS — an (index, tag) pair
+   packed into one atomic word — where the general deque needs DCAS.
+
+   Used in experiment E8: inside a work-stealing scheduler, where its
+   restrictions are acceptable, it beats the general DCAS deques; the
+   DCAS deques in turn offer the unrestricted API. *)
+
+type 'a t = {
+  cells : 'a option Atomic.t array;
+  bot : int Atomic.t;  (* owner writes, thieves read *)
+  age : int Atomic.t;  (* top index and ABA tag packed in one word *)
+  capacity : int;
+}
+
+let name = "abp-deque"
+
+(* top in the low bits, tag above; capacity is far below 2^24 in all
+   our workloads. *)
+let top_bits = 24
+let top_mask = (1 lsl top_bits) - 1
+let pack ~tag ~top = (tag lsl top_bits) lor top
+let top_of age = age land top_mask
+let tag_of age = age lsr top_bits
+
+let create ~capacity () =
+  if capacity < 1 || capacity > top_mask then
+    invalid_arg "Abp_deque.create: capacity out of range";
+  {
+    cells = Array.init capacity (fun _ -> Atomic.make None);
+    bot = Atomic.make 0;
+    age = Atomic.make (pack ~tag:0 ~top:0);
+    capacity;
+  }
+
+(* Owner-only: push at the bottom. *)
+let push_bottom t v =
+  let bot = Atomic.get t.bot in
+  if bot >= t.capacity then `Full
+  else begin
+    Atomic.set t.cells.(bot) (Some v);
+    Atomic.set t.bot (bot + 1);
+    `Okay
+  end
+
+(* Owner-only: pop from the bottom. *)
+let pop_bottom t =
+  let bot = Atomic.get t.bot in
+  if bot = 0 then `Empty
+  else begin
+    let bot = bot - 1 in
+    Atomic.set t.bot bot;
+    let v =
+      match Atomic.get t.cells.(bot) with Some v -> v | None -> assert false
+    in
+    let old_age = Atomic.get t.age in
+    if bot > top_of old_age then `Value v
+    else begin
+      (* possibly racing a thief for the last element: reset the deque
+         and arbitrate through the age word *)
+      Atomic.set t.bot 0;
+      let new_age = pack ~tag:(tag_of old_age + 1) ~top:0 in
+      if bot = top_of old_age && Atomic.compare_and_set t.age old_age new_age
+      then `Value v
+      else begin
+        Atomic.set t.age new_age;
+        `Empty
+      end
+    end
+  end
+
+(* Any thread: steal from the top.  [`Abort] reports a lost race, which
+   ABP exposes to the caller instead of retrying internally. *)
+let steal t =
+  let old_age = Atomic.get t.age in
+  let bot = Atomic.get t.bot in
+  if bot <= top_of old_age then `Empty
+  else begin
+    let v =
+      match Atomic.get t.cells.(top_of old_age) with
+      | Some v -> v
+      | None -> assert false
+    in
+    let new_age = pack ~tag:(tag_of old_age) ~top:(top_of old_age + 1) in
+    if Atomic.compare_and_set t.age old_age new_age then `Value v else `Abort
+  end
+
+(* Retrying wrapper with the general pop interface, for harness code
+   that does not care about [`Abort]. *)
+let rec steal_retry t =
+  match steal t with
+  | `Value v -> `Value v
+  | `Empty -> `Empty
+  | `Abort -> steal_retry t

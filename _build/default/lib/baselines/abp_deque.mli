@@ -1,0 +1,25 @@
+(** The CAS-only work-stealing deque of Arora, Blumofe and Plaxton [4]:
+    the restricted baseline of Section 1.1.  One end (bottom) is
+    owner-only; the other (top) supports only pops.  Those restrictions
+    are what allow single-word CAS synchronization via an (index, tag)
+    word. *)
+
+type 'a t
+
+val name : string
+
+val create : capacity:int -> unit -> 'a t
+(** @raise Invalid_argument if [capacity] is outside [1, 2^24). *)
+
+val push_bottom : 'a t -> 'a -> Deque.Deque_intf.push_result
+(** Owner only. *)
+
+val pop_bottom : 'a t -> 'a Deque.Deque_intf.pop_result
+(** Owner only. *)
+
+val steal : 'a t -> [ `Value of 'a | `Empty | `Abort ]
+(** Any thread; [`Abort] reports a lost race (ABP exposes it rather
+    than retrying internally). *)
+
+val steal_retry : 'a t -> 'a Deque.Deque_intf.pop_result
+(** {!steal} with internal retry on [`Abort]. *)

@@ -1,0 +1,135 @@
+(* Greenwald's first array-based DCAS deque (pages 196-197 of [16]),
+   as characterized in Section 1.1 of the paper: both end indices are
+   packed into a single memory word, and every operation DCASes that
+   word together with one value cell — "using the two-word DCAS as if
+   it were a three-word operation".
+
+   Because the index word is read and updated atomically, boundary
+   detection is trivial (no ambiguity between empty and full is ever
+   observable), which is why the algorithm is simple and correct.  The
+   paper's two complaints, both reproduced here:
+
+   - the index range is cut to half a memory word (our packing allows
+     2^20 cells, mirroring the limitation); and
+
+   - operations on the two ends always collide on the shared index
+     word, so the deque cannot serve concurrent access to both ends —
+     experiment E5 measures exactly this serialization against the
+     paper's algorithm. *)
+
+module type ALGORITHM = sig
+  type 'a t
+
+  val name : string
+  val make : length:int -> unit -> 'a t
+  val create : capacity:int -> unit -> 'a t
+  val push_right : 'a t -> 'a -> Deque.Deque_intf.push_result
+  val push_left : 'a t -> 'a -> Deque.Deque_intf.push_result
+  val pop_right : 'a t -> 'a Deque.Deque_intf.pop_result
+  val pop_left : 'a t -> 'a Deque.Deque_intf.pop_result
+  val unsafe_to_list : 'a t -> 'a list
+end
+
+module Make (M : Dcas.Memory_intf.MEMORY) : ALGORITHM = struct
+  type 'a cell = Null | Item of 'a
+
+  (* Both indices in one "word".  A record in a single location models
+     the bit-packed word; the range limitation is enforced below. *)
+  type indices = { l : int; r : int }
+
+  type 'a t = { idx : indices M.loc; s : 'a cell M.loc array; length : int }
+
+  let name = "greenwald-v1/" ^ M.name
+  let max_index = 1 lsl 20
+
+  let cell_equal a b =
+    match (a, b) with
+    | Null, Null -> true
+    | Item x, Item y -> x == y
+    | (Null | Item _), _ -> false
+
+  let indices_equal a b = a.l = b.l && a.r = b.r
+  let ( %% ) a b = ((a mod b) + b) mod b
+
+  let make ~length () =
+    if length < 1 || length > max_index then
+      invalid_arg "Greenwald_v1.make: length out of the packed-index range";
+    {
+      idx = M.make ~equal:indices_equal { l = 0; r = 1 %% length };
+      s = Array.init length (fun _ -> M.make ~equal:cell_equal Null);
+      length;
+    }
+
+  let create ~capacity () = make ~length:capacity ()
+
+  let push_right t v =
+    let rec loop () =
+      let w = M.get t.idx in
+      let old_s = M.get t.s.(w.r) in
+      match old_s with
+      | Item _ ->
+          (* cell at the insertion point occupied: full, confirmed by a
+             no-op DCAS against the atomic index pair *)
+          if M.dcas t.idx t.s.(w.r) w old_s w old_s then `Full else loop ()
+      | Null ->
+          let w' = { w with r = (w.r + 1) %% t.length } in
+          if M.dcas t.idx t.s.(w.r) w old_s w' (Item v) then `Okay else loop ()
+    in
+    loop ()
+
+  let push_left t v =
+    let rec loop () =
+      let w = M.get t.idx in
+      let old_s = M.get t.s.(w.l) in
+      match old_s with
+      | Item _ ->
+          if M.dcas t.idx t.s.(w.l) w old_s w old_s then `Full else loop ()
+      | Null ->
+          let w' = { w with l = (w.l - 1) %% t.length } in
+          if M.dcas t.idx t.s.(w.l) w old_s w' (Item v) then `Okay else loop ()
+    in
+    loop ()
+
+  let pop_right t =
+    let rec loop () =
+      let w = M.get t.idx in
+      let i = (w.r - 1) %% t.length in
+      let old_s = M.get t.s.(i) in
+      match old_s with
+      | Null ->
+          if M.dcas t.idx t.s.(i) w old_s w old_s then `Empty else loop ()
+      | Item v ->
+          let w' = { w with r = i } in
+          if M.dcas t.idx t.s.(i) w old_s w' Null then `Value v else loop ()
+    in
+    loop ()
+
+  let pop_left t =
+    let rec loop () =
+      let w = M.get t.idx in
+      let i = (w.l + 1) %% t.length in
+      let old_s = M.get t.s.(i) in
+      match old_s with
+      | Null ->
+          if M.dcas t.idx t.s.(i) w old_s w old_s then `Empty else loop ()
+      | Item v ->
+          let w' = { w with l = i } in
+          if M.dcas t.idx t.s.(i) w old_s w' Null then `Value v else loop ()
+    in
+    loop ()
+
+  let unsafe_to_list t =
+    let w = M.get t.idx in
+    let rec walk i k acc =
+      if k = 0 then List.rev acc
+      else
+        match M.get t.s.(i) with
+        | Item v -> walk ((i + 1) %% t.length) (k - 1) (v :: acc)
+        | Null -> List.rev acc
+    in
+    walk ((w.l + 1) %% t.length) t.length []
+end
+
+module Lockfree = Make (Dcas.Mem_lockfree)
+module Locked = Make (Dcas.Mem_lock)
+module Sequential = Make (Dcas.Mem_seq)

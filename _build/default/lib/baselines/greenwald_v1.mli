@@ -1,0 +1,26 @@
+(** Greenwald's first array-based DCAS deque (Section 1.1's prior art):
+    both end indices packed into one memory word, DCASed together with
+    a value cell on every operation.  Correct — boundary detection is
+    trivial with an atomic index pair — but the index range is halved
+    (lengths above 2^20 are rejected here) and the two ends always
+    collide on the shared word: experiment E5 measures the
+    serialization.  [capacity] for {!ALGORITHM.create} is the array
+    length. *)
+
+module type ALGORITHM = sig
+  type 'a t
+
+  val name : string
+  val make : length:int -> unit -> 'a t
+  val create : capacity:int -> unit -> 'a t
+  val push_right : 'a t -> 'a -> Deque.Deque_intf.push_result
+  val push_left : 'a t -> 'a -> Deque.Deque_intf.push_result
+  val pop_right : 'a t -> 'a Deque.Deque_intf.pop_result
+  val pop_left : 'a t -> 'a Deque.Deque_intf.pop_result
+  val unsafe_to_list : 'a t -> 'a list
+end
+
+module Make (M : Dcas.Memory_intf.MEMORY) : ALGORITHM
+module Lockfree : ALGORITHM
+module Locked : ALGORITHM
+module Sequential : ALGORITHM

@@ -1,0 +1,27 @@
+(** A reconstruction of the failure mode of Greenwald's second deque
+    (Section 1.1): boundary conditions concluded from two separate
+    reads instead of an atomically-confirmed view.  Under a schedule
+    where the deque drains from one side and refills from the other
+    between those reads, a push reports "full" while a single element
+    is present — the flaw the paper documents, found automatically by
+    the model checker (experiment E6).  See DESIGN.md for the scope of
+    the reconstruction (Greenwald's exact listing is in an inaccessible
+    thesis; this reproduces the documented bug class, not his text). *)
+
+module type ALGORITHM = sig
+  type 'a t
+
+  val name : string
+  val make : length:int -> unit -> 'a t
+  val create : capacity:int -> unit -> 'a t
+  val push_right : 'a t -> 'a -> Deque.Deque_intf.push_result
+  val push_left : 'a t -> 'a -> Deque.Deque_intf.push_result
+  val pop_right : 'a t -> 'a Deque.Deque_intf.pop_result
+  val pop_left : 'a t -> 'a Deque.Deque_intf.pop_result
+  val unsafe_to_list : 'a t -> 'a list
+end
+
+module Make (M : Dcas.Memory_intf.MEMORY) : ALGORITHM
+module Lockfree : ALGORITHM
+module Locked : ALGORITHM
+module Sequential : ALGORITHM

@@ -1,0 +1,26 @@
+(* Mutex-protected ring deque: the straightforward blocking
+   implementation every practitioner would write first.  The baseline
+   for the paper's Section 1 claims that non-blocking structures
+   deliver resilience (experiment E9: a stalled lock holder stops the
+   world here) and scale better under contention. *)
+
+type 'a t = { mutex : Mutex.t; ring : 'a Ring.t }
+
+let name = "lock-deque"
+
+let create ~capacity () = { mutex = Mutex.create (); ring = Ring.create ~capacity () }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  let r = f t.ring in
+  Mutex.unlock t.mutex;
+  r
+
+let push_right t v = with_lock t (fun ring -> Ring.push_right ring v)
+let push_left t v = with_lock t (fun ring -> Ring.push_left ring v)
+let pop_right t = with_lock t Ring.pop_right
+let pop_left t = with_lock t Ring.pop_left
+
+(* Exposed for the stall-injection experiment (E9): run [f] while
+   holding the deque's lock, simulating a preempted critical section. *)
+let with_lock_held t f = with_lock t (fun _ring -> f ())

@@ -1,0 +1,9 @@
+(** Mutex-protected ring deque: the straightforward blocking baseline
+    (experiments E9, E12). *)
+
+include Deque.Deque_intf.S
+
+val with_lock_held : 'a t -> (unit -> 'b) -> 'b
+(** Run a function while holding the deque's lock — the stall-injection
+    hook for experiment E9 (a preempted critical section stops all
+    other threads). *)

@@ -1,0 +1,68 @@
+(* A plain sequential ring-buffer deque, used as the protected state of
+   the lock-based baselines.  Not thread-safe on its own. *)
+
+type 'a t = {
+  cells : 'a option array;
+  mutable left : int;  (* index of the slot left of the leftmost item *)
+  mutable count : int;
+  capacity : int;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be >= 1";
+  { cells = Array.make capacity None; left = 0; count = 0; capacity }
+
+let ( %% ) a b = ((a mod b) + b) mod b
+
+let is_empty t = t.count = 0
+let is_full t = t.count = t.capacity
+let length t = t.count
+
+let push_right t v =
+  if is_full t then `Full
+  else begin
+    let i = (t.left + 1 + t.count) %% t.capacity in
+    t.cells.(i) <- Some v;
+    t.count <- t.count + 1;
+    `Okay
+  end
+
+let push_left t v =
+  if is_full t then `Full
+  else begin
+    t.cells.(t.left) <- Some v;
+    t.left <- (t.left - 1) %% t.capacity;
+    t.count <- t.count + 1;
+    `Okay
+  end
+
+let pop_right t =
+  if is_empty t then `Empty
+  else begin
+    let i = (t.left + t.count) %% t.capacity in
+    match t.cells.(i) with
+    | Some v ->
+        t.cells.(i) <- None;
+        t.count <- t.count - 1;
+        `Value v
+    | None -> assert false
+  end
+
+let pop_left t =
+  if is_empty t then `Empty
+  else begin
+    let i = (t.left + 1) %% t.capacity in
+    match t.cells.(i) with
+    | Some v ->
+        t.cells.(i) <- None;
+        t.left <- i;
+        t.count <- t.count - 1;
+        `Value v
+    | None -> assert false
+  end
+
+let to_list t =
+  List.init t.count (fun k ->
+      match t.cells.((t.left + 1 + k) %% t.capacity) with
+      | Some v -> v
+      | None -> assert false)

@@ -1,0 +1,16 @@
+(** Sequential ring-buffer deque: the protected state of the lock-based
+    baselines.  {b Not thread-safe} on its own. *)
+
+type 'a t
+
+val create : capacity:int -> unit -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+val length : 'a t -> int
+val push_right : 'a t -> 'a -> Deque.Deque_intf.push_result
+val push_left : 'a t -> 'a -> Deque.Deque_intf.push_result
+val pop_right : 'a t -> 'a Deque.Deque_intf.pop_result
+val pop_left : 'a t -> 'a Deque.Deque_intf.pop_result
+val to_list : 'a t -> 'a list

@@ -1,0 +1,21 @@
+(* Spinlock-protected ring deque: the stronger lock-based baseline.
+   Under light contention a spinlock's uncontended fast path is a
+   single CAS, so this bounds from below the cost any DCAS-based
+   implementation must justify. *)
+
+type 'a t = { lock : Spinlock.t; ring : 'a Ring.t }
+
+let name = "spin-deque"
+
+let create ~capacity () = { lock = Spinlock.create (); ring = Ring.create ~capacity () }
+
+let with_lock t f =
+  Spinlock.acquire t.lock;
+  let r = f t.ring in
+  Spinlock.release t.lock;
+  r
+
+let push_right t v = with_lock t (fun ring -> Ring.push_right ring v)
+let push_left t v = with_lock t (fun ring -> Ring.push_left ring v)
+let pop_right t = with_lock t Ring.pop_right
+let pop_left t = with_lock t Ring.pop_left

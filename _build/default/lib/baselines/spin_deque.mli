@@ -1,0 +1,4 @@
+(** Spinlock-protected ring deque: the stronger lock-based baseline
+    (uncontended fast path is one CAS). *)
+
+include Deque.Deque_intf.S

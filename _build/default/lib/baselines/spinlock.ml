@@ -1,0 +1,26 @@
+(* Test-and-test-and-set spinlock with randomized backoff.  Spinning
+   (rather than parking, as Mutex does) keeps the critical section
+   latency low under light contention, which makes Spin_deque the
+   stronger lock-based baseline in the throughput experiments. *)
+
+type t = { flag : bool Atomic.t }
+
+let create () = { flag = Atomic.make false }
+
+let acquire t =
+  let b = Dcas.Backoff.create () in
+  let rec loop () =
+    if Atomic.get t.flag then begin
+      (* test before test-and-set: spin on a read, not on a CAS *)
+      Domain.cpu_relax ();
+      loop ()
+    end
+    else if Atomic.compare_and_set t.flag false true then ()
+    else begin
+      Dcas.Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+let release t = Atomic.set t.flag false

@@ -1,0 +1,7 @@
+(** Test-and-test-and-set spinlock with randomized backoff. *)
+
+type t
+
+val create : unit -> t
+val acquire : t -> unit
+val release : t -> unit

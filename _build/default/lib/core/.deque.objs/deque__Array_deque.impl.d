@@ -1,0 +1,1 @@
+lib/core/array_deque.ml: Array Array_deque_intf Dcas List Printf

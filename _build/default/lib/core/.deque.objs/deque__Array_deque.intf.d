@@ -1,0 +1,1 @@
+lib/core/array_deque.mli: Array_deque_intf Dcas

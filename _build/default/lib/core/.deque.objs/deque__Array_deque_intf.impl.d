@@ -1,0 +1,1 @@
+lib/core/array_deque_intf.ml: Deque_intf

@@ -1,0 +1,1 @@
+lib/core/deque_intf.ml: Spec

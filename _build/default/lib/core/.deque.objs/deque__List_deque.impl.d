@@ -1,0 +1,1 @@
+lib/core/list_deque.ml: Alloc Atomic Dcas List List_deque_intf Printf

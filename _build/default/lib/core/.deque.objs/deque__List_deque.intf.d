@@ -1,0 +1,1 @@
+lib/core/list_deque.mli: Dcas List_deque_intf

@@ -1,0 +1,1 @@
+lib/core/list_deque_dummy.ml: Alloc Dcas List List_deque_intf Printf

@@ -1,0 +1,1 @@
+lib/core/list_deque_dummy.mli: Dcas List_deque_intf

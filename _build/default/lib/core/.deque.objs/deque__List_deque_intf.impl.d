@@ -1,0 +1,1 @@
+lib/core/list_deque_intf.ml: Alloc Deque_intf

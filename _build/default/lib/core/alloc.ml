@@ -1,0 +1,33 @@
+(* The storage allocator abstraction of Section 2: the paper assumes a
+   GC'd [New] operation whose details are hidden, and footnote 3 makes
+   the unbounded deque's pushes return "full" exactly when allocation
+   fails.  OCaml's GC plays the paper's collector; this module injects
+   the *failure* behaviour so the footnote-3 semantics are testable:
+   a bounded budget of live nodes, decremented at allocation and
+   credited back when a physical deletion splices a node out (the
+   moment it becomes garbage). *)
+
+type t = { budget : int Atomic.t option }
+
+let unbounded = { budget = None }
+
+let bounded n =
+  if n < 0 then invalid_arg "Alloc.bounded: negative budget";
+  { budget = Some (Atomic.make n) }
+
+(* Try to take one allocation credit.  Lock-free: a CAS failure means
+   another allocation or free succeeded. *)
+let rec try_alloc t =
+  match t.budget with
+  | None -> true
+  | Some b ->
+      let n = Atomic.get b in
+      if n <= 0 then false
+      else if Atomic.compare_and_set b n (n - 1) then true
+      else try_alloc t
+
+let free t =
+  match t.budget with None -> () | Some b -> Atomic.incr b
+
+let available t =
+  match t.budget with None -> None | Some b -> Some (Atomic.get b)

@@ -1,0 +1,24 @@
+(** Fallible storage allocator (Section 2's [New], footnote 3).
+
+    The linked-list deque takes an allocator at creation; pushes return
+    [`Full] when [try_alloc] fails, and physical deletions return the
+    credit, emulating GC reclamation.  Use {!unbounded} (the default)
+    for the paper's ordinary GC'd setting. *)
+
+type t
+
+val unbounded : t
+(** Never fails. *)
+
+val bounded : int -> t
+(** At most [n] live nodes at a time.
+    @raise Invalid_argument on a negative budget. *)
+
+val try_alloc : t -> bool
+(** Take one credit; [false] means allocation failure. Lock-free. *)
+
+val free : t -> unit
+(** Return one credit (a node became unreachable). *)
+
+val available : t -> int option
+(** Remaining credits, or [None] if unbounded. *)

@@ -1,0 +1,31 @@
+(** The linked-list-based unbounded deque of Section 4 (Figures 11, 13,
+    17, 32, 33, 34) — the first non-blocking unbounded deque supporting
+    concurrent access to both ends.
+
+    Pops are split into logical deletion (value nulled, deleted bit set
+    in the sentinel's inward pointer word, one DCAS) and physical
+    deletion (node spliced out, bit cleared, one more DCAS performed
+    lazily by the next operation on that side).  [make ?alloc ?recycle]
+    injects a fallible allocator to exercise the footnote-3 semantics
+    (pushes return [`Full] exactly when allocation fails) and, with
+    [recycle], a node-recycling pool that simulates the ABSENCE of the
+    garbage collector the paper assumes: physically deleted nodes are
+    reused by subsequent pushes immediately.  Recycling is the probe of
+    experiment E16 (what does the GC assumption actually protect?); it
+    is not intended for production use.  [create ~capacity] satisfies
+    {!Deque_intf.S} and ignores [capacity] (the deque is unbounded).
+
+    [delete_right]/[delete_left] expose the physical-deletion
+    procedures of Figures 17/34; they are called internally as the
+    algorithm requires, and exposed for targeted tests of the
+    contending-deletes scenario (Figure 16).  [unsafe_to_list] and
+    [check_invariant] (the executable Figures 24-25 representation
+    invariant) are for quiescent states only. *)
+
+module type ALGORITHM = List_deque_intf.ALGORITHM
+
+module Make (M : Dcas.Memory_intf.MEMORY) : ALGORITHM
+module Lockfree : ALGORITHM
+module Locked : ALGORITHM
+module Striped : ALGORITHM
+module Sequential : ALGORITHM

@@ -1,0 +1,18 @@
+(** EXTENSION: the unbounded deque rebuilt on a three-word CAS —
+    answering Section 6's question about stronger primitives.
+
+    With a 3-entry CASN, a pop splices its node out in one atomic step:
+    no deleted bits, no dummy nodes, no split between logical and
+    physical deletion, no delete procedures (the interface's
+    [delete_right]/[delete_left] are no-ops).  The third CASN entry is
+    a pure validation of the victim's neighborhood, which is exactly
+    what DCAS cannot express and what forces the paper's splitting
+    technique.  Compared in experiment E15. *)
+
+module type ALGORITHM = List_deque_intf.ALGORITHM
+
+module Make (M : Dcas.Memory_intf.MEMORY_CASN) : ALGORITHM
+module Lockfree : ALGORITHM
+module Locked : ALGORITHM
+module Striped : ALGORITHM
+module Sequential : ALGORITHM

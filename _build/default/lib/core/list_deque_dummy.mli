@@ -1,0 +1,14 @@
+(** The footnote-4 / Figure 10 variant of the linked-list deque: the
+    deleted bit is replaced by indirection through "dummy" nodes.  A
+    sentinel inward pointer that goes through a dummy encodes a pending
+    deletion; a direct pointer encodes none.  Control flow is otherwise
+    identical to {!List_deque}; experiment E11 compares the two
+    encodings.  The interface is that of {!List_deque}. *)
+
+module type ALGORITHM = List_deque_intf.ALGORITHM
+
+module Make (M : Dcas.Memory_intf.MEMORY) : ALGORITHM
+module Lockfree : ALGORITHM
+module Locked : ALGORITHM
+module Striped : ALGORITHM
+module Sequential : ALGORITHM

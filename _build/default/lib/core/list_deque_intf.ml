@@ -1,0 +1,18 @@
+(* Module type of the linked-list deque algorithms (shared between
+   list_deque.ml / list_deque_dummy.ml and their interfaces). *)
+
+module type ALGORITHM = sig
+  type 'a t
+
+  val name : string
+  val make : ?alloc:Alloc.t -> ?recycle:bool -> unit -> 'a t
+  val create : capacity:int -> unit -> 'a t
+  val push_right : 'a t -> 'a -> Deque_intf.push_result
+  val push_left : 'a t -> 'a -> Deque_intf.push_result
+  val pop_right : 'a t -> 'a Deque_intf.pop_result
+  val pop_left : 'a t -> 'a Deque_intf.pop_result
+  val delete_right : 'a t -> unit
+  val delete_left : 'a t -> unit
+  val unsafe_to_list : 'a t -> 'a list
+  val check_invariant : 'a t -> (unit, string) result
+end

@@ -1,0 +1,1 @@
+lib/dcas/backoff.ml: Domain

@@ -1,0 +1,1 @@
+lib/dcas/id.mli:

@@ -1,0 +1,1 @@
+lib/dcas/mem_lock.ml: Id List Mutex Opstats

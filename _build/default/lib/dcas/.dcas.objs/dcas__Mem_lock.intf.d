@@ -1,0 +1,1 @@
+lib/dcas/mem_lock.mli: Memory_intf

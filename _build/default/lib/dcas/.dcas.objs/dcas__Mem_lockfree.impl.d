@@ -1,0 +1,1 @@
+lib/dcas/mem_lockfree.ml: Array Atomic List Opstats

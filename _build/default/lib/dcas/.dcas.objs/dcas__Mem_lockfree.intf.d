@@ -1,0 +1,1 @@
+lib/dcas/mem_lockfree.mli: Memory_intf

@@ -1,0 +1,1 @@
+lib/dcas/mem_seq.ml: Id List Opstats

@@ -1,0 +1,1 @@
+lib/dcas/mem_seq.mli: Memory_intf

@@ -1,0 +1,1 @@
+lib/dcas/mem_striped.ml: Array Id List Mutex Opstats

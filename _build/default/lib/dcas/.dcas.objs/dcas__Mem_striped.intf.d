@@ -1,0 +1,1 @@
+lib/dcas/mem_striped.mli: Memory_intf

@@ -1,0 +1,1 @@
+lib/dcas/memory_intf.ml: Format

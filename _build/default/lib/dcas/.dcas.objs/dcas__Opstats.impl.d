@@ -1,0 +1,1 @@
+lib/dcas/opstats.ml: Array Atomic Domain Lazy List Memory_intf Mutex

@@ -1,0 +1,1 @@
+lib/dcas/opstats.mli: Memory_intf

@@ -1,0 +1,37 @@
+(* Randomized truncated exponential backoff.  Retry loops in the
+   lock-free structures back off after a failed DCAS so that, under
+   contention, competing operations desynchronize instead of failing
+   each other's DCAS repeatedly.  The state is a single int kept in the
+   caller's stack frame; no allocation on the hot path. *)
+
+type t = { min_wait : int; max_wait : int; mutable wait : int; mutable seed : int }
+
+let default_min_wait = 4
+let default_max_wait = 1024
+
+let create ?(min_wait = default_min_wait) ?(max_wait = default_max_wait) () =
+  if min_wait < 1 || max_wait < min_wait then
+    invalid_arg "Backoff.create: need 1 <= min_wait <= max_wait";
+  (* Seed from the domain id so that domains spinning in lockstep pick
+     different wait times from the first iteration. *)
+  let seed = (Domain.self () :> int) + 1 in
+  { min_wait; max_wait; wait = min_wait; seed }
+
+(* xorshift step; quality is irrelevant, decorrelation is the point. *)
+let next_rand t =
+  let s = t.seed in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  t.seed <- s land max_int;
+  t.seed
+
+let once t =
+  let bound = t.wait in
+  let spins = t.min_wait + (next_rand t mod bound) in
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done;
+  if t.wait < t.max_wait then t.wait <- min t.max_wait (t.wait * 2)
+
+let reset t = t.wait <- t.min_wait

@@ -1,0 +1,21 @@
+(** Randomized truncated exponential backoff for retry loops.
+
+    A failed DCAS means another operation succeeded (lock-freedom), but
+    spinning straight back into the retry loop makes competing
+    operations fail each other repeatedly.  Retry loops create one
+    backoff per operation invocation and call {!once} after each
+    failure. *)
+
+type t
+
+val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+(** Fresh backoff state.  [min_wait] and [max_wait] bound the spin count
+    per wait (defaults 4 and 1024).
+
+    @raise Invalid_argument unless [1 <= min_wait <= max_wait]. *)
+
+val once : t -> unit
+(** Spin for a randomized interval and double the bound (saturating). *)
+
+val reset : t -> unit
+(** Return the wait bound to [min_wait] (e.g. after a success). *)

@@ -1,0 +1,6 @@
+(* Process-wide unique small integers, used to identify shared locations
+   (for same-location checks) and to impose the total acquisition order
+   that the lock-free and striped memory models rely on for progress. *)
+
+let counter = Atomic.make 0
+let next () = Atomic.fetch_and_add counter 1

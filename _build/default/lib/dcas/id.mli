@@ -1,0 +1,4 @@
+(** Process-wide unique location identifiers. *)
+
+val next : unit -> int
+(** A fresh identifier; thread-safe, strictly increasing per call. *)

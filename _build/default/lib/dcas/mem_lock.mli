@@ -1,0 +1,7 @@
+(** Blocking DCAS emulation behind one global mutex (the paper's
+    citation [2]).  Correct and simple, but serializes all memory
+    operations and is not non-blocking: a preempted lock holder stalls
+    every other thread.  Used as a baseline in experiments E9 and
+    E12. *)
+
+include Memory_intf.MEMORY_CASN

@@ -1,0 +1,175 @@
+(* Non-blocking software DCAS in the style the paper cites as "a
+   non-blocking software emulation [8, 30]": a restricted multi-word
+   compare-and-swap (CASN) built from single-word CAS with descriptors
+   and helping, after Harris, Fraser and Pratt.
+
+   Each location holds a [state]: either a plain [Value], or [Owned] by
+   a CASN descriptor together with the location's value before and
+   after that CASN.  The logical value of an [Owned] location is
+   decided by the descriptor's status: [before] until the status word
+   is CASed to [Succeeded] (which is the linearization point of the
+   whole CASN), [after] from then on.  Any thread that encounters an
+   undecided descriptor while installing its own helps it to completion
+   first, so a stalled thread can never block others.
+
+   Two properties of OCaml make the simple two-phase CASN (without the
+   RDCSS sub-protocol of Harris et al.) correct here:
+
+   - every write allocates a fresh [Value] block, and installation uses
+     a physical compare-and-set against the exact state block read in
+     the same attempt, so a stale helper that slept across a complete
+     acquire/decide/release cycle can never re-install its descriptor
+     (the state block it read is no longer current); and
+
+   - the garbage collector reclaims descriptors, exactly as the paper's
+     deques rely on GC to reclaim list nodes (Section 1.1).
+
+   Entries are acquired in ascending location-id order, which bounds
+   helping chains and yields lock-freedom by the standard argument. *)
+
+type status = Undecided | Failed | Succeeded
+
+type 'a loc = {
+  id : int;
+  state : 'a state Atomic.t;
+  equal : 'a -> 'a -> bool;
+}
+
+and 'a state = Value of 'a | Owned of { desc : desc; before : 'a; after : 'a }
+
+and desc = { status : status Atomic.t; entries : entry array }
+
+and entry = Entry : { loc : 'a loc; before : 'a; after : 'a } -> entry
+
+type cass = Cass : 'a loc * 'a * 'a -> cass
+
+let name = "lockfree"
+let counters = Opstats.create ()
+let stats () = Opstats.snapshot counters
+let reset_stats () = Opstats.reset counters
+
+let next_id =
+  let c = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add c 1
+
+let make ?(equal = ( = )) v =
+  { id = next_id (); state = Atomic.make (Value v); equal }
+
+(* The logical value of a state block, given the owning descriptor's
+   current status.  Status is monotonic (Undecided -> Failed/Succeeded,
+   then frozen), so reading the state block and then its status yields a
+   linearizable read: see DESIGN.md, lib/dcas notes. *)
+let resolve : type a. a state -> a = function
+  | Value v -> v
+  | Owned { desc; before; after } -> (
+      match Atomic.get desc.status with
+      | Succeeded -> after
+      | Undecided | Failed -> before)
+
+let get loc =
+  Opstats.incr_read counters;
+  resolve (Atomic.get loc.state)
+
+(* Replace a decided descriptor's hold on [loc] with a plain [Value];
+   failure means somebody else already moved the location on. *)
+let release_one (type a) (loc : a loc) (cur : a state) =
+  ignore (Atomic.compare_and_set loc.state cur (Value (resolve cur)))
+
+let rec help desc =
+  let n = Array.length desc.entries in
+  let rec acquire i =
+    if i >= n then ignore (Atomic.compare_and_set desc.status Undecided Succeeded)
+    else if Atomic.get desc.status <> Undecided then ()
+    else
+      let (Entry { loc; before; after }) = desc.entries.(i) in
+      let cur = Atomic.get loc.state in
+      match cur with
+      | Owned { desc = d; _ } when d == desc -> acquire (i + 1)
+      | Owned { desc = d; _ } ->
+          if Atomic.get d.status = Undecided then help d else release_one loc cur;
+          acquire i
+      | Value v ->
+          if loc.equal v before then
+            if Atomic.compare_and_set loc.state cur (Owned { desc; before; after })
+            then acquire (i + 1)
+            else acquire i
+          else ignore (Atomic.compare_and_set desc.status Undecided Failed)
+  in
+  acquire 0;
+  (* Eagerly release whatever we still own so later operations on these
+     locations take the fast [Value] path. *)
+  Array.iter
+    (fun (Entry { loc; _ }) ->
+      match Atomic.get loc.state with
+      | Owned { desc = d; _ } as cur when d == desc -> release_one loc cur
+      | Value _ | Owned _ -> ())
+    desc.entries
+
+let rec set loc v =
+  Opstats.incr_write counters;
+  let cur = Atomic.get loc.state in
+  (match cur with
+  | Owned { desc; _ } when Atomic.get desc.status = Undecided -> help desc
+  | Value _ | Owned _ -> ());
+  if not (Atomic.compare_and_set loc.state cur (Value v)) then set loc v
+
+(* The location is unpublished: no other thread can hold a descriptor
+   on it, so a plain store of a fresh Value block suffices. *)
+let set_private loc v = Atomic.set loc.state (Value v)
+
+let dcas l1 l2 o1 o2 n1 n2 =
+  if l1.id = l2.id then invalid_arg "Mem_lockfree.dcas: locations must differ";
+  Opstats.incr_attempt counters;
+  let e1 = Entry { loc = l1; before = o1; after = n1 }
+  and e2 = Entry { loc = l2; before = o2; after = n2 } in
+  let entries = if l1.id < l2.id then [| e1; e2 |] else [| e2; e1 |] in
+  let desc = { status = Atomic.make Undecided; entries } in
+  help desc;
+  let ok = Atomic.get desc.status = Succeeded in
+  if ok then Opstats.incr_success counters;
+  ok
+
+(* The strong form obtains its failing atomic view with the same trick
+   the paper's own algorithms use (Figure 2, lines 8-10): a successful
+   no-op DCAS certifies that the two values were simultaneously
+   present.  The loop is lock-free: every retry is caused by some other
+   operation's successful DCAS. *)
+let rec dcas_strong l1 l2 o1 o2 n1 n2 =
+  if dcas l1 l2 o1 o2 n1 n2 then (true, o1, o2)
+  else
+    let v1 = get l1 in
+    let v2 = get l2 in
+    if l1.equal v1 o1 && l2.equal v2 o2 then dcas_strong l1 l2 o1 o2 n1 n2
+    else if dcas l1 l2 v1 v2 v1 v2 then (false, v1, v2)
+    else dcas_strong l1 l2 o1 o2 n1 n2
+
+(* Generic N-word CASN over the same locations: the natural
+   generalization the paper's Section 6 alludes to when discussing
+   "synchronization primitives that can access more than one shared
+   memory location".  DCAS above is the two-entry special case. *)
+let casn cs =
+  let entries =
+    List.map (fun (Cass (loc, before, after)) -> Entry { loc; before; after }) cs
+    |> Array.of_list
+  in
+  Array.sort (fun (Entry a) (Entry b) -> compare a.loc.id b.loc.id) entries;
+  let distinct =
+    let ok = ref true in
+    Array.iteri
+      (fun i (Entry a) ->
+        if i > 0 then
+          let (Entry b) = entries.(i - 1) in
+          if a.loc.id = b.loc.id then ok := false)
+      entries;
+    !ok
+  in
+  if not distinct then invalid_arg "Mem_lockfree.casn: locations must differ";
+  if Array.length entries = 0 then true
+  else begin
+    Opstats.incr_attempt counters;
+    let desc = { status = Atomic.make Undecided; entries } in
+    help desc;
+    let ok = Atomic.get desc.status = Succeeded in
+    if ok then Opstats.incr_success counters;
+    ok
+  end

@@ -1,0 +1,16 @@
+(** Non-blocking software DCAS: a two-word CASN built from single-word
+    CAS with descriptors and helping (the paper's "non-blocking software
+    emulation [8, 30]").
+
+    This is the production memory model: all operations are lock-free.
+    Reads never help; they resolve an owning descriptor's status
+    in-place.  Writers and DCAS operations help any undecided descriptor
+    they encounter, so a preempted operation can never block others.
+    Descriptor reclamation relies on the garbage collector, mirroring
+    the paper's reliance on GC for list nodes. *)
+
+include Memory_intf.MEMORY_CASN
+(** [casn entries] atomically compares-and-swaps every entry with
+    descriptor-based helping, succeeding iff all expected values match:
+    the generalization the paper's Section 6 gestures at, used by the
+    3CAS deque extension. *)

@@ -1,0 +1,5 @@
+(** Unsynchronized sequential memory model.  {b Not thread-safe}: use
+    only from a single thread (sequential tests, cost floor in
+    experiment E4). *)
+
+include Memory_intf.MEMORY_CASN

@@ -1,0 +1,6 @@
+(** Blocking DCAS emulation over striped per-location locks, acquired in
+    a global stripe order.  Finer-grained than {!Mem_lock}: operations
+    on unrelated locations proceed in parallel, but the model is still
+    blocking.  Baseline for experiment E12. *)
+
+include Memory_intf.MEMORY_CASN

@@ -1,0 +1,106 @@
+(* The shared-memory model of Section 2 of the paper: a linearizable
+   memory object offering Read, Write and DCAS (Figure 1).  Every deque
+   algorithm in this repository is a functor over MEMORY, so the same
+   algorithm text runs on a production lock-free substrate, on blocking
+   emulations, and inside the model checker. *)
+
+type stats = {
+  reads : int;  (** number of [get] operations observed *)
+  writes : int;  (** number of [set] operations observed *)
+  dcas_attempts : int;  (** number of [dcas]/[dcas_strong] invocations *)
+  dcas_successes : int;  (** how many of those returned [true] *)
+}
+
+let empty_stats = { reads = 0; writes = 0; dcas_attempts = 0; dcas_successes = 0 }
+
+let add_stats a b =
+  {
+    reads = a.reads + b.reads;
+    writes = a.writes + b.writes;
+    dcas_attempts = a.dcas_attempts + b.dcas_attempts;
+    dcas_successes = a.dcas_successes + b.dcas_successes;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "reads=%d writes=%d dcas=%d/%d" s.reads s.writes
+    s.dcas_successes s.dcas_attempts
+
+module type MEMORY = sig
+  (** A linearizable shared memory providing the operations of Section 2:
+      [Read], [Write] and the two forms of [DCAS] from Figure 1. *)
+
+  type 'a loc
+  (** A shared memory location holding a value of type ['a]. *)
+
+  val make : ?equal:('a -> 'a -> bool) -> 'a -> 'a loc
+  (** [make ?equal v] allocates a fresh location initialized to [v].
+      [equal] decides whether a location's current content matches the
+      "old" value supplied to a DCAS; it defaults to structural equality
+      [( = )].  Pass a custom [equal] whenever values may contain cycles
+      (e.g. pointers into a doubly-linked structure). *)
+
+  val get : 'a loc -> 'a
+  (** [get l] is the paper's [Read(L)]: a linearizable read of [l]. *)
+
+  val set : 'a loc -> 'a -> unit
+  (** [set l v] is the paper's [Write(L, v)]: a linearizable,
+      unconditional write. *)
+
+  val set_private : 'a loc -> 'a -> unit
+  (** [set_private l v] writes to a location that is not yet reachable
+      by any other thread — initialization of a freshly allocated
+      structure before it is published.  Semantically identical to
+      {!set}; memory models may skip synchronization and the model
+      checker does not treat it as a scheduling point, following the
+      paper's footnote 7 ("we do not consider fields of a
+      newly-allocated heap object to be shared variables until a
+      pointer to the object has been stored in some shared
+      variable"). *)
+
+  val dcas : 'a loc -> 'b loc -> 'a -> 'b -> 'a -> 'b -> bool
+  (** [dcas l1 l2 o1 o2 n1 n2] is the boolean form of Figure 1:
+      atomically, if [l1] holds [o1] and [l2] holds [o2], store [n1] and
+      [n2] and return [true]; otherwise leave memory unchanged and
+      return [false].  The two locations must be distinct.
+
+      @raise Invalid_argument if [l1] and [l2] are the same location. *)
+
+  val dcas_strong : 'a loc -> 'b loc -> 'a -> 'b -> 'a -> 'b -> bool * 'a * 'b
+  (** [dcas_strong l1 l2 o1 o2 n1 n2] is the atomic-view form of
+      Figure 1 (third and fourth arguments are pointers to the old
+      values in the paper's C rendition).  On success it behaves like
+      {!dcas} and returns [(true, o1, o2)]; on failure it returns
+      [(false, v1, v2)] where [(v1, v2)] is an {e atomic} snapshot of
+      the two locations observed at some instant during the call, with
+      [(v1, v2) <> (o1, o2)] under the locations' equalities. *)
+
+  val name : string
+  (** Short human-readable name of the memory model, used in benchmark
+      tables and test labels. *)
+
+  val stats : unit -> stats
+  (** Cumulative operation counters for this memory model, summed over
+      all domains that used it.  Intended for the ablation experiments
+      (E10, E12); see {!reset_stats}. *)
+
+  val reset_stats : unit -> unit
+  (** Reset the counters returned by {!stats} to zero. *)
+end
+
+module type MEMORY_CASN = sig
+  (** A memory model additionally offering an N-word compare-and-swap —
+      the stronger primitive Section 6 of the paper asks about.  DCAS
+      is the two-entry special case; the 3CAS deque extension
+      ({!Deque.List_deque_casn}) is built on the three-entry case. *)
+
+  include MEMORY
+
+  type cass = Cass : 'a loc * 'a * 'a -> cass
+  (** One entry: location, expected value, new value. *)
+
+  val casn : cass list -> bool
+  (** Atomically compare-and-swap every entry; succeeds iff all
+      expected values match.  The empty list trivially succeeds.
+
+      @raise Invalid_argument if two entries name the same location. *)
+end

@@ -1,0 +1,57 @@
+(* Per-domain operation counters.  Each domain that touches a memory
+   model gets its own array of atomic counters (registered in a global
+   list), so the hot paths never contend on a shared counter; [snapshot]
+   sums across domains. *)
+
+type bucket = int Atomic.t array
+(* indices: 0 = reads, 1 = writes, 2 = dcas attempts, 3 = dcas successes *)
+
+type t = {
+  mutex : Mutex.t;
+  mutable buckets : bucket list;
+  key : bucket Domain.DLS.key;
+}
+
+let create () =
+  let rec t =
+    lazy
+      {
+        mutex = Mutex.create ();
+        buckets = [];
+        key =
+          Domain.DLS.new_key (fun () ->
+              let b = Array.init 4 (fun _ -> Atomic.make 0) in
+              let t = Lazy.force t in
+              Mutex.lock t.mutex;
+              t.buckets <- b :: t.buckets;
+              Mutex.unlock t.mutex;
+              b);
+      }
+  in
+  Lazy.force t
+
+let bucket t = Domain.DLS.get t.key
+
+let incr b i = Atomic.incr b.(i)
+let incr_read t = incr (bucket t) 0
+let incr_write t = incr (bucket t) 1
+let incr_attempt t = incr (bucket t) 2
+let incr_success t = incr (bucket t) 3
+
+let snapshot t : Memory_intf.stats =
+  Mutex.lock t.mutex;
+  let buckets = t.buckets in
+  Mutex.unlock t.mutex;
+  let sum i = List.fold_left (fun acc b -> acc + Atomic.get b.(i)) 0 buckets in
+  {
+    reads = sum 0;
+    writes = sum 1;
+    dcas_attempts = sum 2;
+    dcas_successes = sum 3;
+  }
+
+let reset t =
+  Mutex.lock t.mutex;
+  let buckets = t.buckets in
+  Mutex.unlock t.mutex;
+  List.iter (fun b -> Array.iter (fun c -> Atomic.set c 0) b) buckets

@@ -1,0 +1,21 @@
+(** Per-domain operation counters backing {!Memory_intf.MEMORY.stats}.
+
+    Counters are kept in domain-local atomic buckets so that counting on
+    the memory models' hot paths does not introduce cross-domain cache
+    contention; {!snapshot} sums over every domain that has used the
+    counter. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, independent set of counters (one per memory model). *)
+
+val incr_read : t -> unit
+val incr_write : t -> unit
+val incr_attempt : t -> unit
+val incr_success : t -> unit
+
+val snapshot : t -> Memory_intf.stats
+(** Sum of all domains' counters since creation or the last {!reset}. *)
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/harness/metrics.ml: Array Float Unix

@@ -1,0 +1,1 @@
+lib/harness/splitmix.ml: Int64

@@ -1,0 +1,1 @@
+lib/harness/stall.ml: Dcas Domain Unix

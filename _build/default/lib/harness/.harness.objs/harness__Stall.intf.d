@@ -1,0 +1,1 @@
+lib/harness/stall.mli: Dcas

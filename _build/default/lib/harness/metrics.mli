@@ -1,0 +1,29 @@
+(** Wall-clock timing and a log-bucketed latency histogram.
+
+    Latency should be recorded in batches ([Unix.gettimeofday] is too
+    coarse for one sub-microsecond operation); bechamel covers the
+    single-operation regime (experiment E4). *)
+
+val now : unit -> float
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and elapsed seconds. *)
+
+module Histogram : sig
+  (** Buckets of width 2x from 1ns to ~1s: bucket [i] covers
+      [2^i, 2^(i+1)) nanoseconds. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> ns:int -> unit
+  val merge : t -> t -> t
+  val mean_ns : t -> float
+
+  val quantile_ns : t -> float -> float
+  (** Upper bound of the bucket containing the given quantile. *)
+end
+
+val throughput : ?duration:float -> (unit -> unit) -> float
+(** Operations per second of [f] run repeatedly in the calling thread
+    for ~[duration] seconds (default 0.2). *)

@@ -1,0 +1,79 @@
+(* Multi-domain benchmark runner: spawns worker domains, lines them up
+   behind a sense barrier so measurement starts simultaneously, runs a
+   per-thread body until a stop flag flips, and reports per-thread
+   operation counts and wall-clock time.
+
+   On a single-core container the domains time-share preemptively;
+   throughput numbers therefore measure synchronization cost under
+   contention and oversubscription rather than parallel speedup, as
+   recorded in DESIGN.md's substitution table. *)
+
+type result = {
+  per_thread : int array;  (* operations completed by each thread *)
+  elapsed : float;  (* seconds between barrier release and last join *)
+}
+
+let total r = Array.fold_left ( + ) 0 r.per_thread
+let throughput r = float_of_int (total r) /. r.elapsed
+
+(* [run ~threads ~duration body]: each domain evaluates [body ~tid ~rng]
+   repeatedly — the body performs ONE logical operation per call — until
+   the duration elapses.  [seed] makes the workers' RNG streams
+   reproducible. *)
+let run ?(seed = 0x5EED) ~threads ~duration body =
+  if threads < 1 then invalid_arg "Runner.run: threads must be >= 1";
+  let stop = Atomic.make false in
+  let started = Atomic.make 0 in
+  let per_thread = Array.make threads 0 in
+  let master = Splitmix.create ~seed in
+  let rngs = Array.init threads (fun _ -> Splitmix.split master) in
+  let worker tid () =
+    let rng = rngs.(tid) in
+    Atomic.incr started;
+    while Atomic.get started < threads do
+      Domain.cpu_relax ()
+    done;
+    let count = ref 0 in
+    while not (Atomic.get stop) do
+      body ~tid ~rng;
+      incr count
+    done;
+    per_thread.(tid) <- !count
+  in
+  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  (* wait until all workers are at the barrier, then time the window *)
+  while Atomic.get started < threads do
+    Domain.cpu_relax ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  { per_thread; elapsed }
+
+(* Fixed-iteration variant: every thread performs exactly [iters]
+   operations; used where operation counts must balance exactly (e.g.
+   conservation checks in stress tests). *)
+let run_fixed ?(seed = 0x5EED) ~threads ~iters body =
+  if threads < 1 then invalid_arg "Runner.run_fixed: threads must be >= 1";
+  let started = Atomic.make 0 in
+  let master = Splitmix.create ~seed in
+  let rngs = Array.init threads (fun _ -> Splitmix.split master) in
+  let worker tid () =
+    let rng = rngs.(tid) in
+    Atomic.incr started;
+    while Atomic.get started < threads do
+      Domain.cpu_relax ()
+    done;
+    for i = 1 to iters do
+      body ~tid ~rng ~i
+    done
+  in
+  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  while Atomic.get started < threads do
+    Domain.cpu_relax ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  List.iter Domain.join domains;
+  Unix.gettimeofday () -. t0

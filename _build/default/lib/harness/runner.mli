@@ -1,0 +1,37 @@
+(** Multi-domain benchmark runner: workers line up behind a sense
+    barrier, run until a stop flag flips (or for a fixed iteration
+    count), and report per-thread operation counts.
+
+    On a single-core machine the domains time-share preemptively;
+    throughput measures synchronization cost under contention rather
+    than parallel speedup. *)
+
+type result = {
+  per_thread : int array;  (** operations completed by each thread *)
+  elapsed : float;  (** seconds between barrier release and last join *)
+}
+
+val total : result -> int
+val throughput : result -> float
+
+val run :
+  ?seed:int ->
+  threads:int ->
+  duration:float ->
+  (tid:int -> rng:Splitmix.t -> unit) ->
+  result
+(** Each domain evaluates the body (one logical operation per call)
+    repeatedly until [duration] elapses.  Per-thread RNG streams derive
+    deterministically from [seed].
+
+    @raise Invalid_argument if [threads < 1]. *)
+
+val run_fixed :
+  ?seed:int ->
+  threads:int ->
+  iters:int ->
+  (tid:int -> rng:Splitmix.t -> i:int -> unit) ->
+  float
+(** Every thread performs exactly [iters] operations; returns the
+    elapsed wall-clock seconds.  Used where operation counts must
+    balance exactly (conservation checks). *)

@@ -1,0 +1,73 @@
+(* Cooperative stall injection for the resilience experiment (E9).
+
+   The paper's Section 1 motivates non-blocking structures with
+   resilience: a thread preempted in the middle of an operation must
+   not block others.  [Mem_stalling] wraps any memory model so that a
+   thread which has called [request] goes to sleep just before its
+   [after_ops]-th subsequent shared-memory operation — i.e. genuinely
+   in the middle of a deque operation, holding whatever intermediate
+   state the algorithm has published.  For the DCAS deques this is
+   harmless by design (any other thread helps or works around); for the
+   lock-based baseline the equivalent experiment holds the deque's
+   mutex across the same sleep, stopping the world.
+
+   The request is domain-local, so a staller thread only ever stalls
+   itself. *)
+
+type pending = { mutable countdown : int; mutable duration : float }
+
+let key : pending Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { countdown = -1; duration = 0. })
+
+let request ~after_ops ~duration =
+  if after_ops < 1 then invalid_arg "Stall.request: after_ops must be >= 1";
+  let p = Domain.DLS.get key in
+  p.countdown <- after_ops;
+  p.duration <- duration
+
+let cancel () =
+  let p = Domain.DLS.get key in
+  p.countdown <- -1
+
+(* Called by the instrumented memory before every shared operation. *)
+let point () =
+  let p = Domain.DLS.get key in
+  if p.countdown > 0 then begin
+    p.countdown <- p.countdown - 1;
+    if p.countdown = 0 then begin
+      p.countdown <- -1;
+      Unix.sleepf p.duration
+    end
+  end
+
+(* A memory model that checks for a pending stall before each shared
+   operation, then delegates.  Same loc type as the wrapped model, so
+   structures built over it are otherwise identical. *)
+module Mem_stalling (M : Dcas.Memory_intf.MEMORY) :
+  Dcas.Memory_intf.MEMORY with type 'a loc = 'a M.loc = struct
+  type 'a loc = 'a M.loc
+
+  let name = M.name ^ "+stall"
+  let make = M.make
+
+  let get l =
+    point ();
+    M.get l
+
+  let set l v =
+    point ();
+    M.set l v
+
+  let set_private = M.set_private
+
+  let dcas l1 l2 o1 o2 n1 n2 =
+    point ();
+    M.dcas l1 l2 o1 o2 n1 n2
+
+  let dcas_strong l1 l2 o1 o2 n1 n2 =
+    point ();
+    M.dcas_strong l1 l2 o1 o2 n1 n2
+
+  let stats = M.stats
+  let reset_stats = M.reset_stats
+end

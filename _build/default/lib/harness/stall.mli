@@ -1,0 +1,22 @@
+(** Cooperative stall injection for the resilience experiments (E9,
+    E14): a thread arranges to fall asleep in the middle of its own
+    next operation — after a chosen number of shared-memory accesses —
+    via the {!Mem_stalling} instrumented memory.
+
+    Requests are domain-local: a staller only ever stalls itself. *)
+
+val request : after_ops:int -> duration:float -> unit
+(** Arrange for the calling domain to sleep [duration] seconds just
+    before its [after_ops]-th subsequent shared-memory operation.
+
+    @raise Invalid_argument if [after_ops < 1]. *)
+
+val cancel : unit -> unit
+
+val point : unit -> unit
+(** Called by the instrumented memory before every shared operation;
+    sleeps if this domain's pending request has counted down. *)
+
+module Mem_stalling (M : Dcas.Memory_intf.MEMORY) :
+  Dcas.Memory_intf.MEMORY with type 'a loc = 'a M.loc
+(** [M] with a {!point} check before every shared operation. *)

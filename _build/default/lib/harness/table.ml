@@ -1,0 +1,60 @@
+(* Aligned text tables for the experiment output.  The benchmark driver
+   prints one table per experiment; EXPERIMENTS.md quotes them
+   verbatim, so the format doubles as the record format. *)
+
+type align = Left | Right
+
+let render ?(align_default = Right) ~headers rows =
+  let ncols = List.length headers in
+  List.iter
+    (fun r ->
+      if List.length r <> ncols then invalid_arg "Table.render: ragged row")
+    rows;
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure headers;
+  List.iter measure rows;
+  let pad align w s =
+    let fill = String.make (w - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let line row align =
+    row
+    |> List.mapi (fun i cell -> pad (align i) widths.(i) cell)
+    |> String.concat "  "
+  in
+  let buf = Buffer.create 256 in
+  (* header is left-aligned in its first column for readability *)
+  let header_align i = if i = 0 then Left else align_default in
+  let row_align i = if i = 0 then Left else align_default in
+  Buffer.add_string buf (line headers header_align);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.concat "  "
+       (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (line r row_align);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?align_default ~headers rows =
+  print_string (render ?align_default ~headers rows)
+
+(* Formatting helpers used across benchmarks. *)
+let ops_per_sec v =
+  if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+  else Printf.sprintf "%.0f" v
+
+let ns v =
+  if v >= 1e6 then Printf.sprintf "%.2fms" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.2fus" (v /. 1e3)
+  else Printf.sprintf "%.0fns" v
+
+let ratio v = Printf.sprintf "%.2fx" v
+let pct v = Printf.sprintf "%.1f%%" (100. *. v)

@@ -1,0 +1,23 @@
+(** Aligned text tables for the experiment output; the format printed
+    by [bench/main.exe] is quoted verbatim in EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+val render : ?align_default:align -> headers:string list -> string list list -> string
+(** @raise Invalid_argument on ragged rows. *)
+
+val print : ?align_default:align -> headers:string list -> string list list -> unit
+
+(** Cell formatting helpers. *)
+
+val ops_per_sec : float -> string
+(** e.g. ["2.50M"], ["3.1k"]. *)
+
+val ns : float -> string
+(** e.g. ["750ns"], ["1.50us"], ["2.10ms"]. *)
+
+val ratio : float -> string
+(** e.g. ["2.00x"]. *)
+
+val pct : float -> string
+(** [pct 0.31] is ["31.0%"]. *)

@@ -1,0 +1,1 @@
+lib/modelcheck/explorer.ml: Array Effect Format Fun List Mem_model Scenario Spec String

@@ -1,0 +1,1 @@
+lib/modelcheck/mem_model.mli: Dcas Effect

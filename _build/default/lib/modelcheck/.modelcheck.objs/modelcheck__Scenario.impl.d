@@ -1,0 +1,1 @@
+lib/modelcheck/scenario.ml: Array Baselines Deque List Mem_model Spec String

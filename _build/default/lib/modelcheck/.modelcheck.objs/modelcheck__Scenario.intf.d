@@ -1,0 +1,1 @@
+lib/modelcheck/scenario.mli: Spec

@@ -1,0 +1,294 @@
+(* Bounded systematic exploration of thread interleavings.
+
+   Threads run inside effect handlers; every shared-memory access of
+   {!Mem_model} yields, and the explorer decides which thread performs
+   the next atomic step.  Because OCaml continuations are one-shot the
+   explorer is stateless in the jVM/CHESS style: it re-executes the
+   scenario from scratch for every schedule, enumerating schedules by
+   depth-first search over the decision points of the previous run.
+
+   For every complete schedule the explorer
+
+   - checks the optional per-step invariant after every transition
+     (the executable RepInv obligation of Section 5), and
+   - checks the recorded history against the sequential deque
+     specification with the Wing&Gong checker (the linearizability
+     obligation of Theorems 3.1 and 4.1).
+
+   [explore] is exhaustive up to [max_schedules]; [sample] draws random
+   schedules for configurations too large to enumerate;
+   [check_nonblocking] freezes one thread at every one of its reachable
+   step counts and verifies that all other threads still complete —
+   the empirical face of the paper's lock-freedom theorems. *)
+
+exception Step_limit
+exception Invariant_violation of string
+
+type thread_status =
+  | Not_started
+  | Paused of (unit, unit) Effect.Deep.continuation
+  | Finished
+
+type run_report = {
+  history : (int Spec.Op.op, int Spec.Op.res) Spec.History.entry array;
+  steps : int;
+  decisions : (int list * int) list;
+      (* reversed stack of (enabled threads, chosen position) *)
+}
+
+(* Execute one schedule.  [decide depth enabled] returns the position
+   (not the thread id) to pick within [enabled]; every decision made is
+   recorded so the caller can backtrack.  [frozen] threads are never
+   scheduled; the run ends when every unfrozen thread has finished. *)
+let run_schedule ?(max_steps = 100_000) ?(frozen = fun _ -> false)
+    (scenario : Scenario.t) ~decide =
+  let n = Array.length scenario.threads in
+  let inst = Mem_model.unmonitored scenario.instantiate in
+  let clock = ref 0 in
+  let entries = ref [] in
+  let status = Array.make n Not_started in
+  let run_thread i () =
+    List.iter
+      (fun op ->
+        let inv = !clock in
+        incr clock;
+        let result = inst.Scenario.apply op in
+        let ret = !clock in
+        incr clock;
+        entries :=
+          { Spec.History.thread = i; op; result; inv; ret } :: !entries)
+      scenario.threads.(i)
+  in
+  let step i =
+    match status.(i) with
+    | Finished -> invalid_arg "Explorer.step: thread already finished"
+    | Paused k -> Effect.Deep.continue k ()
+    | Not_started ->
+        Effect.Deep.match_with (run_thread i) ()
+          {
+            retc = (fun () -> status.(i) <- Finished);
+            exnc = (fun e -> raise e);
+            effc =
+              (fun (type a) (eff : a Effect.t) ->
+                match eff with
+                | Mem_model.Yield ->
+                    Some
+                      (fun (k : (a, _) Effect.Deep.continuation) ->
+                        status.(i) <- Paused k)
+                | _ -> None);
+          }
+  in
+  let check_invariant () =
+    match inst.Scenario.invariant with
+    | None -> ()
+    | Some chk -> (
+        match Mem_model.unmonitored chk with
+        | Ok () -> ()
+        | Error e -> raise (Invariant_violation e))
+  in
+  let steps = ref 0 in
+  let decisions = ref [] in
+  let rec loop depth =
+    let enabled =
+      List.filter
+        (fun i ->
+          (not (frozen i))
+          && match status.(i) with Finished -> false | Not_started | Paused _ -> true)
+        (List.init n Fun.id)
+    in
+    match enabled with
+    | [] -> ()
+    | _ ->
+        incr steps;
+        if !steps > max_steps then raise Step_limit;
+        let pos = decide depth enabled in
+        decisions := (enabled, pos) :: !decisions;
+        step (List.nth enabled pos);
+        check_invariant ();
+        loop (depth + 1)
+  in
+  check_invariant ();
+  loop 0;
+  {
+    history = Array.of_list !entries;
+    steps = !steps;
+    decisions = !decisions;
+  }
+
+type failure = {
+  schedule : int list;  (* thread ids in execution order *)
+  reason : string;
+  pretty_history : string;
+}
+
+type outcome = {
+  schedules : int;
+  exhaustive : bool;  (* false if max_schedules was hit *)
+  error : failure option;
+}
+
+let pp_outcome ppf o =
+  match o.error with
+  | None ->
+      Format.fprintf ppf "ok (%d schedules%s)" o.schedules
+        (if o.exhaustive then ", exhaustive" else ", truncated")
+  | Some f ->
+      Format.fprintf ppf "FAILED after %d schedules: %s@.schedule: %s@.%s"
+        o.schedules f.reason
+        (String.concat " " (List.map string_of_int f.schedule))
+        f.pretty_history
+
+let schedule_of_decisions decisions =
+  List.rev_map (fun (enabled, pos) -> List.nth enabled pos) decisions
+
+let pretty_history h =
+  Format.asprintf "%a"
+    (Spec.History.pp
+       (Spec.Op.pp_op Format.pp_print_int)
+       (Spec.Op.pp_res Format.pp_print_int))
+    h
+
+let check_history (scenario : Scenario.t) (report : run_report) =
+  match
+    Spec.Linearizability.check_deque ?capacity:scenario.capacity
+      ~initial:scenario.initial report.history
+  with
+  | Ok _witness -> Ok ()
+  | Error () -> Error "history is not linearizable"
+
+let failure_of report reason =
+  {
+    schedule = schedule_of_decisions report.decisions;
+    reason;
+    pretty_history = pretty_history report.history;
+  }
+
+(* Exhaustive DFS over schedules.  [on_schedule] is invoked with every
+   completed run's report (e.g. to aggregate memory-model statistics
+   per schedule). *)
+let explore ?(max_steps = 100_000) ?(max_schedules = 2_000_000)
+    ?(check = `Linearizability) ?(on_schedule = fun (_ : run_report) -> ())
+    (scenario : Scenario.t) =
+  let rec attempt prefix count =
+    (* prefix: reversed (enabled, pos) decisions to replay *)
+    let prefix_arr = Array.of_list (List.rev prefix) in
+    let decide depth _enabled =
+      if depth < Array.length prefix_arr then snd prefix_arr.(depth) else 0
+    in
+    let result =
+      match run_schedule ~max_steps scenario ~decide with
+      | report -> (
+          on_schedule report;
+          match check with
+          | `None -> Ok report
+          | `Linearizability -> (
+              match check_history scenario report with
+              | Ok () -> Ok report
+              | Error reason -> Error (failure_of report reason)))
+      | exception Invariant_violation e ->
+          Error
+            {
+              schedule = [];
+              reason = "invariant violated: " ^ e;
+              pretty_history = "";
+            }
+      | exception Step_limit ->
+          Error
+            { schedule = []; reason = "step limit exceeded"; pretty_history = "" }
+    in
+    match result with
+    | Error f -> { schedules = count + 1; exhaustive = false; error = Some f }
+    | Ok report -> (
+        (* find the deepest decision with an unexplored alternative *)
+        let rec backtrack = function
+          | [] -> None
+          | (enabled, pos) :: rest ->
+              if pos + 1 < List.length enabled then Some ((enabled, pos + 1) :: rest)
+              else backtrack rest
+        in
+        match backtrack report.decisions with
+        | None -> { schedules = count + 1; exhaustive = true; error = None }
+        | Some prefix' ->
+            if count + 1 >= max_schedules then
+              { schedules = count + 1; exhaustive = false; error = None }
+            else attempt prefix' (count + 1))
+  in
+  attempt [] 0
+
+(* Randomized sampling for scenarios too large to enumerate. *)
+let sample ?(max_steps = 100_000) ~schedules ~seed (scenario : Scenario.t) =
+  let state = ref (seed lor 1) in
+  let rand bound =
+    let s = !state in
+    let s = s lxor (s lsl 13) in
+    let s = s lxor (s lsr 7) in
+    let s = s lxor (s lsl 17) in
+    state := s land max_int;
+    !state mod bound
+  in
+  let rec go k =
+    if k = 0 then { schedules; exhaustive = false; error = None }
+    else
+      let decide _depth enabled = rand (List.length enabled) in
+      match run_schedule ~max_steps scenario ~decide with
+      | report -> (
+          match check_history scenario report with
+          | Ok () -> go (k - 1)
+          | Error reason ->
+              {
+                schedules = schedules - k + 1;
+                exhaustive = false;
+                error = Some (failure_of report reason);
+              })
+      | exception Invariant_violation e ->
+          {
+            schedules = schedules - k + 1;
+            exhaustive = false;
+            error =
+              Some
+                {
+                  schedule = [];
+                  reason = "invariant violated: " ^ e;
+                  pretty_history = "";
+                };
+          }
+  in
+  go schedules
+
+(* Lock-freedom evidence: freeze [victim] after each of its reachable
+   step counts (0, 1, 2, ... up to its solo completion) and check that
+   every other thread still finishes.  Returns the number of stall
+   points exercised, or the first stall point at which some other
+   thread failed to complete. *)
+let check_nonblocking ?(max_steps = 100_000) (scenario : Scenario.t) ~victim =
+  (* how many steps does the victim take when scheduled greedily? *)
+  let victim_steps = ref 0 in
+  let count_decide _depth enabled =
+    match List.find_index (fun i -> i = victim) enabled with
+    | Some pos ->
+        incr victim_steps;
+        pos
+    | None -> 0
+  in
+  ignore (run_schedule ~max_steps scenario ~decide:count_decide);
+  let total = !victim_steps in
+  let rec try_stall j =
+    if j > total then Ok total
+    else begin
+      (* schedule the victim for its first j steps, then freeze it *)
+      let victim_taken = ref 0 in
+      let frozen i = i = victim && !victim_taken >= j in
+      let decide _depth enabled =
+        match List.find_index (fun i -> i = victim) enabled with
+        | Some pos when !victim_taken < j ->
+            incr victim_taken;
+            pos
+        | Some _ | None -> 0
+      in
+      match run_schedule ~max_steps ~frozen scenario ~decide with
+      | _report -> try_stall (j + 1)
+      | exception Step_limit -> Error j
+      | exception Invariant_violation _ -> Error j
+    end
+  in
+  try_stall 0

@@ -1,0 +1,16 @@
+(** The model checker's memory: a {!Dcas.Memory_intf.MEMORY_CASN}
+    implementation whose every shared operation performs a {!Yield}
+    effect before executing atomically, giving the explorer full
+    control over interleavings at exactly the granularity the paper's
+    proofs reason at (each transition is a read, a write, or a DCAS).
+
+    Single-domain only: the explorer serializes all threads. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+include Dcas.Memory_intf.MEMORY_CASN
+
+val unmonitored : (unit -> 'a) -> 'a
+(** Run code with yields transparently continued — for building the
+    structure under test and for evaluating invariants between steps,
+    outside any scheduled thread. *)

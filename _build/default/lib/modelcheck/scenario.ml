@@ -1,0 +1,129 @@
+(* Declarative model-checking scenarios: a fixed script of deque
+   operations per thread, a way to build a fresh instance of the
+   structure under test (over Mem_model), and optional per-step checks.
+
+   [prefill] pushes initial values from the right; [setup] then runs
+   additional operations quiescently (single-threaded, before any
+   exploration) so a test can steer the structure into an interesting
+   state — e.g. popping both elements to leave two logically deleted
+   nodes before exploring the contending physical deletions of
+   Figure 16 — while keeping the explored window small enough to
+   enumerate exhaustively.  The linearizability oracle starts from the
+   abstract state reached after prefill and setup. *)
+
+type instance = {
+  apply : int Spec.Op.op -> int Spec.Op.res;
+  invariant : (unit -> (unit, string) result) option;
+      (* evaluated by the explorer after every shared-memory step; this
+         is the executable RepInv obligation of Section 5 *)
+  dump : (unit -> string) option;  (* quiescent contents, for reports *)
+}
+
+type t = {
+  name : string;
+  capacity : int option;  (* oracle capacity for linearizability *)
+  initial : int list;  (* oracle start state: prefill after setup *)
+  threads : int Spec.Op.op list array;
+  instantiate : unit -> instance;
+}
+
+(* --- Ready-made instances over the model memory --- *)
+
+module Array_model = Deque.Array_deque.Make (Mem_model)
+module List_model = Deque.List_deque.Make (Mem_model)
+module List_dummy_model = Deque.List_deque_dummy.Make (Mem_model)
+module List_casn_model = Deque.List_deque_casn.Make (Mem_model)
+module Greenwald_v2_model = Baselines.Greenwald_v2.Make (Mem_model)
+module Greenwald_v1_model = Baselines.Greenwald_v1.Make (Mem_model)
+
+let apply_via push_right push_left pop_right pop_left d (op : int Spec.Op.op) :
+    int Spec.Op.res =
+  match op with
+  | Spec.Op.Push_right v -> Deque.Deque_intf.res_of_push (push_right d v)
+  | Spec.Op.Push_left v -> Deque.Deque_intf.res_of_push (push_left d v)
+  | Spec.Op.Pop_right -> Deque.Deque_intf.res_of_pop (pop_right d)
+  | Spec.Op.Pop_left -> Deque.Deque_intf.res_of_pop (pop_left d)
+
+let dump_ints to_list d () =
+  to_list d |> List.map string_of_int |> String.concat ","
+
+(* The abstract state after prefill and setup, for the oracle. *)
+let oracle_initial ?capacity ~prefill ~setup () =
+  let d0 = Spec.Seq_deque.of_list ?capacity prefill in
+  let d1 =
+    List.fold_left (fun d op -> fst (Spec.Seq_deque.apply d op)) d0 setup
+  in
+  Spec.Seq_deque.to_list d1
+
+(* Shared scaffolding: [make_instance] builds a fresh structure, plays
+   prefill and setup against it, and returns the instance record. *)
+let build ~name ~capacity ~prefill ~setup ~threads ~make_instance =
+  {
+    name;
+    capacity;
+    initial = oracle_initial ?capacity ~prefill ~setup ();
+    threads = Array.of_list threads;
+    instantiate =
+      (fun () ->
+        let apply, invariant, dump = make_instance () in
+        List.iter
+          (fun v ->
+            match apply (Spec.Op.Push_right v) with
+            | Spec.Op.Okay -> ()
+            | Spec.Op.Full | Spec.Op.Empty | Spec.Op.Got _ ->
+                invalid_arg "Scenario: prefill exceeded capacity")
+          prefill;
+        List.iter (fun op -> ignore (apply op)) setup;
+        { apply; invariant; dump });
+  }
+
+let array_deque ?(hints = true) ?(setup = []) ~name ~length ~prefill threads =
+  build ~name ~capacity:(Some length) ~prefill ~setup ~threads
+    ~make_instance:(fun () ->
+      let d = Array_model.make ~hints ~length () in
+      ( apply_via Array_model.push_right Array_model.push_left
+          Array_model.pop_right Array_model.pop_left d,
+        Some (fun () -> Array_model.check_invariant d),
+        Some (dump_ints Array_model.unsafe_to_list d) ))
+
+let list_deque ?(recycle = false) ?(setup = []) ~name ~prefill threads =
+  build ~name ~capacity:None ~prefill ~setup ~threads ~make_instance:(fun () ->
+      let d = List_model.make ~recycle () in
+      ( apply_via List_model.push_right List_model.push_left
+          List_model.pop_right List_model.pop_left d,
+        Some (fun () -> List_model.check_invariant d),
+        Some (dump_ints List_model.unsafe_to_list d) ))
+
+let list_deque_dummy ?(setup = []) ~name ~prefill threads =
+  build ~name ~capacity:None ~prefill ~setup ~threads ~make_instance:(fun () ->
+      let d = List_dummy_model.make () in
+      ( apply_via List_dummy_model.push_right List_dummy_model.push_left
+          List_dummy_model.pop_right List_dummy_model.pop_left d,
+        Some (fun () -> List_dummy_model.check_invariant d),
+        Some (dump_ints List_dummy_model.unsafe_to_list d) ))
+
+let list_deque_casn ?(setup = []) ~name ~prefill threads =
+  build ~name ~capacity:None ~prefill ~setup ~threads ~make_instance:(fun () ->
+      let d = List_casn_model.make () in
+      ( apply_via List_casn_model.push_right List_casn_model.push_left
+          List_casn_model.pop_right List_casn_model.pop_left d,
+        Some (fun () -> List_casn_model.check_invariant d),
+        Some (dump_ints List_casn_model.unsafe_to_list d) ))
+
+let greenwald_v2 ?(setup = []) ~name ~length ~prefill threads =
+  build ~name ~capacity:(Some length) ~prefill ~setup ~threads
+    ~make_instance:(fun () ->
+      let d = Greenwald_v2_model.make ~length () in
+      ( apply_via Greenwald_v2_model.push_right Greenwald_v2_model.push_left
+          Greenwald_v2_model.pop_right Greenwald_v2_model.pop_left d,
+        None,
+        Some (dump_ints Greenwald_v2_model.unsafe_to_list d) ))
+
+let greenwald_v1 ?(setup = []) ~name ~length ~prefill threads =
+  build ~name ~capacity:(Some length) ~prefill ~setup ~threads
+    ~make_instance:(fun () ->
+      let d = Greenwald_v1_model.make ~length () in
+      ( apply_via Greenwald_v1_model.push_right Greenwald_v1_model.push_left
+          Greenwald_v1_model.pop_right Greenwald_v1_model.pop_left d,
+        None,
+        Some (dump_ints Greenwald_v1_model.unsafe_to_list d) ))

@@ -1,0 +1,72 @@
+(** Declarative model-checking scenarios: per-thread scripts of deque
+    operations over a fresh instance built on {!Mem_model}.
+
+    [prefill] pushes initial values from the right; [setup] runs
+    further operations quiescently before exploration starts (to steer
+    the structure into an interesting state, e.g. the two-deleted-node
+    configuration of Figure 16, while keeping the explored window
+    exhaustively enumerable).  The linearizability oracle starts from
+    the abstract state after prefill and setup. *)
+
+type instance = {
+  apply : int Spec.Op.op -> int Spec.Op.res;
+  invariant : (unit -> (unit, string) result) option;
+      (** evaluated by the explorer after every shared-memory step —
+          the executable RepInv obligation of Section 5 *)
+  dump : (unit -> string) option;  (** quiescent contents, for reports *)
+}
+
+type t = {
+  name : string;
+  capacity : int option;
+  initial : int list;
+  threads : int Spec.Op.op list array;
+  instantiate : unit -> instance;
+}
+
+val array_deque :
+  ?hints:bool ->
+  ?setup:int Spec.Op.op list ->
+  name:string ->
+  length:int ->
+  prefill:int list ->
+  int Spec.Op.op list list ->
+  t
+
+val list_deque :
+  ?recycle:bool ->
+  ?setup:int Spec.Op.op list ->
+  name:string ->
+  prefill:int list ->
+  int Spec.Op.op list list ->
+  t
+
+val list_deque_dummy :
+  ?setup:int Spec.Op.op list ->
+  name:string ->
+  prefill:int list ->
+  int Spec.Op.op list list ->
+  t
+
+val list_deque_casn :
+  ?setup:int Spec.Op.op list ->
+  name:string ->
+  prefill:int list ->
+  int Spec.Op.op list list ->
+  t
+
+val greenwald_v1 :
+  ?setup:int Spec.Op.op list ->
+  name:string ->
+  length:int ->
+  prefill:int list ->
+  int Spec.Op.op list list ->
+  t
+
+val greenwald_v2 :
+  ?setup:int Spec.Op.op list ->
+  name:string ->
+  length:int ->
+  prefill:int list ->
+  int Spec.Op.op list list ->
+  t

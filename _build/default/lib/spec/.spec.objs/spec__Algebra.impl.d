@@ -1,0 +1,1 @@
+lib/spec/algebra.ml: List Seq_deque

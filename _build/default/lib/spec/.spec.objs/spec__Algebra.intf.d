@@ -1,0 +1,1 @@
+lib/spec/algebra.mli: Seq_deque

@@ -1,0 +1,1 @@
+lib/spec/history.ml: Array Atomic Format List

@@ -1,0 +1,1 @@
+lib/spec/linearizability.ml: Array Bytes Char Hashtbl History Int List Op Seq_deque String

@@ -1,0 +1,1 @@
+lib/spec/linearizability.mli: History Op

@@ -1,0 +1,1 @@
+lib/spec/op.mli: Format

@@ -1,0 +1,1 @@
+lib/spec/seq_deque.ml: Format List Op

@@ -1,0 +1,1 @@
+lib/spec/seq_deque.mli: Format Op

@@ -1,0 +1,121 @@
+(* The deque algebra the paper feeds to the Simplify prover (Figure 35):
+   deques axiomatized with EmptyQ / singleton / concat constructors,
+   pushR/pushL/popR/popL mutators, peekR/peekL observers and a len
+   function.  Here the terms are a free datatype, [denote] maps a term
+   to the sequence it stands for, and each Figure 35 axiom is exported
+   as a boolean law so the test suite can check them by enumeration and
+   by qcheck (experiment E13's "axioms hold of the implementation"
+   leg). *)
+
+type 'a term =
+  | EmptyQ
+  | Singleton of 'a
+  | Concat of 'a term * 'a term
+
+let rec denote = function
+  | EmptyQ -> []
+  | Singleton v -> [ v ]
+  | Concat (a, b) -> denote a @ denote b
+
+let rec len = function
+  | EmptyQ -> 0
+  | Singleton _ -> 1
+  | Concat (a, b) -> len a + len b
+
+let is_empty t = len t = 0
+
+(* Mutators and observers, defined structurally as in Figure 35.  The
+   peek/pop functions are partial exactly where the axioms leave them
+   undefined (on empty deques). *)
+
+let push_l q v = Concat (Singleton v, q)
+let push_r q v = Concat (q, Singleton v)
+
+let rec peek_r = function
+  | EmptyQ -> None
+  | Singleton v -> Some v
+  | Concat (q1, q2) -> ( match peek_r q2 with Some v -> Some v | None -> peek_r q1)
+
+let rec peek_l = function
+  | EmptyQ -> None
+  | Singleton v -> Some v
+  | Concat (q1, q2) -> ( match peek_l q1 with Some v -> Some v | None -> peek_l q2)
+
+let rec pop_r = function
+  | EmptyQ -> None
+  | Singleton _ -> Some EmptyQ
+  | Concat (q1, q2) -> (
+      if is_empty q2 then
+        match pop_r q1 with Some q1' -> Some (Concat (q1', q2)) | None -> None
+      else match pop_r q2 with Some q2' -> Some (Concat (q1, q2')) | None -> None)
+
+let rec pop_l = function
+  | EmptyQ -> None
+  | Singleton _ -> Some EmptyQ
+  | Concat (q1, q2) -> (
+      if is_empty q1 then
+        match pop_l q2 with Some q2' -> Some (Concat (q1, q2')) | None -> None
+      else match pop_l q1 with Some q1' -> Some (Concat (q1', q2)) | None -> None)
+
+(* Semantic equality: two terms denote the same deque.  The Figure 35
+   axioms are all stated up to this equality. *)
+let equal eq a b = List.equal eq (denote a) (denote b)
+
+(* The axioms of Figure 35, one checkable law each.  [laws] pairs each
+   with its name so test runners can report which axiom failed. *)
+module Laws = struct
+  let constructors_distinct v = denote (Singleton v) <> denote EmptyQ
+
+  let concat_nonempty_left eq q1 q2 =
+    if is_empty q1 then true else not (equal eq (Concat (q1, q2)) EmptyQ)
+
+  let concat_nonempty_right eq q1 q2 =
+    if is_empty q2 then true else not (equal eq (Concat (q1, q2)) EmptyQ)
+
+  let concat_empty_right eq q = equal eq (Concat (q, EmptyQ)) q
+  let concat_empty_left eq q = equal eq (Concat (EmptyQ, q)) q
+
+  let concat_assoc eq q1 q2 q3 =
+    equal eq (Concat (q1, Concat (q2, q3))) (Concat (Concat (q1, q2), q3))
+
+  let push_l_def eq q v = equal eq (push_l q v) (Concat (Singleton v, q))
+  let push_r_def eq q v = equal eq (push_r q v) (Concat (q, Singleton v))
+  let peek_r_singleton v = peek_r (Singleton v) = Some v
+  let peek_l_singleton v = peek_l (Singleton v) = Some v
+
+  let peek_r_concat q1 q2 =
+    if is_empty q2 then true else peek_r (Concat (q1, q2)) = peek_r q2
+
+  let peek_l_concat q1 q2 =
+    if is_empty q1 then true else peek_l (Concat (q1, q2)) = peek_l q1
+
+  let pop_r_singleton eq v =
+    match pop_r (Singleton v) with Some q -> equal eq q EmptyQ | None -> false
+
+  let pop_l_singleton eq v =
+    match pop_l (Singleton v) with Some q -> equal eq q EmptyQ | None -> false
+
+  let pop_r_concat eq q1 q2 =
+    if is_empty q2 then true
+    else
+      match (pop_r (Concat (q1, q2)), pop_r q2) with
+      | Some q, Some q2' -> equal eq q (Concat (q1, q2'))
+      | _, _ -> false
+
+  let pop_l_concat eq q1 q2 =
+    if is_empty q1 then true
+    else
+      match (pop_l (Concat (q1, q2)), pop_l q1) with
+      | Some q, Some q1' -> equal eq q (Concat (q1', q2))
+      | _, _ -> false
+
+  let len_empty () = len EmptyQ = 0
+  let len_singleton v = len (Singleton v) = 1
+  let len_concat q1 q2 = len (Concat (q1, q2)) = len q1 + len q2
+end
+
+(* Bridge to the executable oracle: a term denotes the same sequence as
+   the Seq_deque built by pushing its elements.  Used by tests to tie
+   the Figure 35 algebra to the Section 2.2 state machine. *)
+let to_seq_deque ?capacity t = Seq_deque.of_list ?capacity (denote t)
+let of_list xs = List.fold_left (fun q v -> push_r q v) EmptyQ xs

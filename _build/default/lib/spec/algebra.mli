@@ -1,0 +1,57 @@
+(** The deque algebra the paper feeds to the Simplify prover
+    (Figure 35): deques as free terms over [EmptyQ] / [Singleton] /
+    [Concat], with the push/pop/peek operations defined structurally
+    and each axiom exported as a checkable law.
+
+    [denote] interprets a term as the sequence it stands for; all laws
+    hold up to that interpretation.  Tests check the laws by
+    enumeration and with qcheck, and bridge the algebra to the
+    executable oracle via {!to_seq_deque}. *)
+
+type 'a term = EmptyQ | Singleton of 'a | Concat of 'a term * 'a term
+
+val denote : 'a term -> 'a list
+val len : 'a term -> int
+val is_empty : 'a term -> bool
+val push_l : 'a term -> 'a -> 'a term
+val push_r : 'a term -> 'a -> 'a term
+
+val peek_l : 'a term -> 'a option
+val peek_r : 'a term -> 'a option
+(** [None] exactly where Figure 35 leaves the observer undefined. *)
+
+val pop_l : 'a term -> 'a term option
+val pop_r : 'a term -> 'a term option
+
+val equal : ('a -> 'a -> bool) -> 'a term -> 'a term -> bool
+(** Semantic equality: same denotation. *)
+
+(** One boolean law per Figure 35 axiom; each takes the element
+    equality where relevant. *)
+module Laws : sig
+  val constructors_distinct : 'a -> bool
+  val concat_nonempty_left : ('a -> 'a -> bool) -> 'a term -> 'a term -> bool
+  val concat_nonempty_right : ('a -> 'a -> bool) -> 'a term -> 'a term -> bool
+  val concat_empty_right : ('a -> 'a -> bool) -> 'a term -> bool
+  val concat_empty_left : ('a -> 'a -> bool) -> 'a term -> bool
+
+  val concat_assoc :
+    ('a -> 'a -> bool) -> 'a term -> 'a term -> 'a term -> bool
+
+  val push_l_def : ('a -> 'a -> bool) -> 'a term -> 'a -> bool
+  val push_r_def : ('a -> 'a -> bool) -> 'a term -> 'a -> bool
+  val peek_r_singleton : 'a -> bool
+  val peek_l_singleton : 'a -> bool
+  val peek_r_concat : 'a term -> 'a term -> bool
+  val peek_l_concat : 'a term -> 'a term -> bool
+  val pop_r_singleton : ('a -> 'a -> bool) -> 'a -> bool
+  val pop_l_singleton : ('a -> 'a -> bool) -> 'a -> bool
+  val pop_r_concat : ('a -> 'a -> bool) -> 'a term -> 'a term -> bool
+  val pop_l_concat : ('a -> 'a -> bool) -> 'a term -> 'a term -> bool
+  val len_empty : unit -> bool
+  val len_singleton : 'a -> bool
+  val len_concat : 'a term -> 'a term -> bool
+end
+
+val to_seq_deque : ?capacity:int -> 'a term -> 'a Seq_deque.t
+val of_list : 'a list -> 'a term

@@ -1,0 +1,86 @@
+(* Concurrent operation histories in the sense of Section 2: sequences
+   of invocations and responses, inducing the real-time partial order
+   "A precedes B iff A's response occurs before B's invocation".
+
+   A recorder hands out per-thread buffers so that recording an
+   operation costs two reads of a global atomic clock and two
+   unsynchronized array stores — cheap enough not to perturb the
+   interleavings being observed.  The global clock is an atomic counter
+   ticked at invocation and response; because [Atomic.fetch_and_add] is
+   linearizable, the recorded timestamps are consistent with real-time
+   order. *)
+
+type ('op, 'res) entry = {
+  thread : int;  (* recording thread's index *)
+  op : 'op;
+  result : 'res;
+  inv : int;  (* clock at invocation *)
+  ret : int;  (* clock at response; inv < ret *)
+}
+
+type ('op, 'res) t = ('op, 'res) entry array
+(* Completed operations only, in no particular order. *)
+
+let precedes a b = a.ret < b.inv
+
+let sort_by_invocation h =
+  let h = Array.copy h in
+  Array.sort (fun a b -> compare a.inv b.inv) h;
+  h
+
+(* Is the history already sequential (no two operations overlap)?  Such
+   a history is linearizable iff replaying it through the oracle in
+   invocation order reproduces every result. *)
+let is_sequential h =
+  let h = sort_by_invocation h in
+  let ok = ref true in
+  Array.iteri
+    (fun i e -> if i > 0 then if not (precedes h.(i - 1) e) then ok := false)
+    h;
+  !ok
+
+let pp pp_op pp_res ppf h =
+  let h = sort_by_invocation h in
+  Array.iter
+    (fun e ->
+      Format.fprintf ppf "@[[t%d %4d-%4d] %a -> %a@]@." e.thread e.inv e.ret
+        pp_op e.op pp_res e.result)
+    h
+
+module Recorder = struct
+  type ('op, 'res) buffer = {
+    mutable entries : ('op, 'res) entry list;
+    mutable count : int;
+  }
+
+  type ('op, 'res) recorder = {
+    clock : int Atomic.t;
+    buffers : ('op, 'res) buffer array;
+  }
+
+  let create ~threads =
+    if threads < 1 then invalid_arg "History.Recorder.create: threads >= 1";
+    {
+      clock = Atomic.make 0;
+      buffers = Array.init threads (fun _ -> { entries = []; count = 0 });
+    }
+
+  (* Record one operation: tick, run, tick.  Only thread [thread] may
+     call this with that index, which is what makes the buffer stores
+     race-free. *)
+  let record r ~thread op f =
+    let inv = Atomic.fetch_and_add r.clock 1 in
+    let result = f () in
+    let ret = Atomic.fetch_and_add r.clock 1 in
+    let b = r.buffers.(thread) in
+    b.entries <- { thread; op; result; inv; ret } :: b.entries;
+    b.count <- b.count + 1;
+    result
+
+  (* Collect all buffers into one history.  Call only after every
+     recording thread has been joined. *)
+  let history r : ('op, 'res) t =
+    Array.to_list r.buffers
+    |> List.concat_map (fun b -> b.entries)
+    |> Array.of_list
+end

@@ -1,0 +1,49 @@
+(** Concurrent operation histories (Section 2): completed invocations
+    and responses with logical timestamps, inducing the real-time
+    partial order "A precedes B iff A responded before B was invoked".
+
+    The {!Recorder} hands out per-thread buffers so recording costs two
+    atomic clock ticks and two local stores per operation. *)
+
+type ('op, 'res) entry = {
+  thread : int;
+  op : 'op;
+  result : 'res;
+  inv : int;  (** logical clock at invocation *)
+  ret : int;  (** logical clock at response; [inv < ret] *)
+}
+
+type ('op, 'res) t = ('op, 'res) entry array
+(** Completed operations, unordered. *)
+
+val precedes : ('op, 'res) entry -> ('op, 'res) entry -> bool
+(** Real-time order: [a] responded before [b] was invoked. *)
+
+val sort_by_invocation : ('op, 'res) t -> ('op, 'res) t
+
+val is_sequential : ('op, 'res) t -> bool
+(** No two operations overlap. *)
+
+val pp :
+  (Format.formatter -> 'op -> unit) ->
+  (Format.formatter -> 'res -> unit) ->
+  Format.formatter ->
+  ('op, 'res) t ->
+  unit
+
+module Recorder : sig
+  type ('op, 'res) recorder
+
+  val create : threads:int -> ('op, 'res) recorder
+  (** @raise Invalid_argument if [threads < 1]. *)
+
+  val record :
+    ('op, 'res) recorder -> thread:int -> 'op -> (unit -> 'res) -> 'res
+  (** [record r ~thread op f] runs [f] between two clock ticks and
+      stores the entry in [thread]'s private buffer.  Only thread
+      [thread] may record under that index. *)
+
+  val history : ('op, 'res) recorder -> ('op, 'res) t
+  (** Merge all buffers; call only after the recording threads have
+      been joined. *)
+end

@@ -1,0 +1,115 @@
+(* Wing & Gong's linearizability checking algorithm, with the
+   memoization of Lowe ("Testing for linearizability", 2017): depth-
+   first search over choices of the next operation to linearize, where
+   an operation is eligible if every operation that responded before
+   its invocation has already been linearized.  Visited (pending-set,
+   abstract-state) pairs are memoized so that equivalent search
+   frontiers are not re-explored; this is what makes histories of a few
+   hundred operations tractable.
+
+   The checker is generic in the sequential specification; the functor
+   below is instantiated for deques in {!Deque_check}, which is what
+   the test suites and experiment E13 use. *)
+
+module type SPEC = sig
+  type state
+  type op
+  type res
+
+  val apply : state -> op -> state * res
+  val equal_res : res -> res -> bool
+
+  val state_key : state -> string
+  (** An injective encoding of the abstract state, used as part of the
+      memoization key. *)
+end
+
+module Make (S : SPEC) = struct
+  type entry = (S.op, S.res) History.entry
+
+  (* The pending set is represented as a bitset over the history
+     (indices fixed after an initial sort), encoded into the memo key
+     as raw bytes. *)
+  let bitset_key (pending : bool array) (state : S.state) =
+    let n = Array.length pending in
+    let b = Bytes.make (((n + 7) / 8) + 1) '\000' in
+    for i = 0 to n - 1 do
+      if pending.(i) then
+        let byte = i / 8 and bit = i mod 8 in
+        Bytes.set b byte
+          (Char.chr (Char.code (Bytes.get b byte) lor (1 lsl bit)))
+    done;
+    Bytes.to_string b ^ "|" ^ S.state_key state
+
+  type verdict =
+    | Linearizable of int list  (* witness: linearization order (indices) *)
+    | Not_linearizable
+
+  let check ~init (history : entry array) =
+    let h = History.sort_by_invocation history in
+    let n = Array.length h in
+    (* eligible i pending: no pending j responded before i's invocation *)
+    let eligible pending i =
+      pending.(i)
+      &&
+      let ok = ref true in
+      for j = 0 to n - 1 do
+        if pending.(j) && j <> i && History.precedes h.(j) h.(i) then ok := false
+      done;
+      !ok
+    in
+    let memo = Hashtbl.create 1024 in
+    let pending = Array.make n true in
+    let rec search state remaining acc =
+      if remaining = 0 then Some (List.rev acc)
+      else
+        let key = bitset_key pending state in
+        if Hashtbl.mem memo key then None
+        else begin
+          Hashtbl.add memo key ();
+          let rec try_ops i =
+            if i >= n then None
+            else if eligible pending i then begin
+              let state', res = S.apply state h.(i).op in
+              if S.equal_res res h.(i).result then begin
+                pending.(i) <- false;
+                match search state' (remaining - 1) (i :: acc) with
+                | Some w -> Some w
+                | None ->
+                    pending.(i) <- true;
+                    try_ops (i + 1)
+              end
+              else try_ops (i + 1)
+            end
+            else try_ops (i + 1)
+          in
+          try_ops 0
+        end
+    in
+    match search init n [] with
+    | Some witness -> Linearizable witness
+    | None -> Not_linearizable
+end
+
+(* The instantiation used throughout: integer-valued deques checked
+   against the Section 2.2 oracle. *)
+module Deque_spec = struct
+  type state = int Seq_deque.t
+  type op = int Op.op
+  type res = int Op.res
+
+  let apply = Seq_deque.apply
+  let equal_res = Op.equal_res Int.equal
+
+  let state_key s =
+    Seq_deque.to_list s |> List.map string_of_int |> String.concat ","
+end
+
+module Deque_check = Make (Deque_spec)
+
+type deque_entry = (int Op.op, int Op.res) History.entry
+
+let check_deque ?capacity ?(initial = []) (history : deque_entry array) =
+  match Deque_check.check ~init:(Seq_deque.of_list ?capacity initial) history with
+  | Deque_check.Linearizable w -> Ok w
+  | Deque_check.Not_linearizable -> Error ()

@@ -1,0 +1,50 @@
+(** Wing & Gong's linearizability checking algorithm with Lowe's
+    memoization: DFS over the choice of the next operation to
+    linearize, where an operation is eligible once every operation that
+    responded before its invocation has been linearized.  Visited
+    (pending-set, abstract-state) pairs are memoized.
+
+    This checker is the executable counterpart of the paper's
+    linearizability theorems (3.1 and 4.1): concurrent histories
+    recorded against the implementations — by the test harness on real
+    domains, and by the model checker for every interleaving — are
+    validated against the Section 2.2 sequential specification. *)
+
+module type SPEC = sig
+  type state
+  type op
+  type res
+
+  val apply : state -> op -> state * res
+  val equal_res : res -> res -> bool
+
+  val state_key : state -> string
+  (** Injective encoding of the state, for memoization. *)
+end
+
+module Make (S : SPEC) : sig
+  type entry = (S.op, S.res) History.entry
+
+  type verdict =
+    | Linearizable of int list
+        (** witness: indices (into the invocation-sorted history) in
+            linearization order *)
+    | Not_linearizable
+
+  val check : init:S.state -> entry array -> verdict
+end
+
+(** The instantiation used throughout: integer deques against the
+    Section 2.2 oracle. *)
+
+type deque_entry = (int Op.op, int Op.res) History.entry
+
+val check_deque :
+  ?capacity:int ->
+  ?initial:int list ->
+  deque_entry array ->
+  (int list, unit) result
+(** [check_deque ?capacity ?initial history] checks [history] against a
+    sequential deque that starts as [initial] (default empty) with the
+    given capacity (default unbounded).  [Ok witness] gives one valid
+    linearization order. *)

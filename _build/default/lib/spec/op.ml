@@ -1,0 +1,35 @@
+(* The deque operation vocabulary of Section 2.2: four operations, push
+   results in {okay, full}, pop results in {val, empty}.  Shared by the
+   sequential specification, the concurrent implementations' test
+   harness, the history recorder and the linearizability checker. *)
+
+type 'a op = Push_right of 'a | Push_left of 'a | Pop_right | Pop_left
+
+type 'a res = Okay | Full | Empty | Got of 'a
+
+let equal_res equal_v a b =
+  match (a, b) with
+  | Okay, Okay | Full, Full | Empty, Empty -> true
+  | Got x, Got y -> equal_v x y
+  | (Okay | Full | Empty | Got _), _ -> false
+
+let pp_op pp_v ppf = function
+  | Push_right v -> Format.fprintf ppf "pushRight(%a)" pp_v v
+  | Push_left v -> Format.fprintf ppf "pushLeft(%a)" pp_v v
+  | Pop_right -> Format.fprintf ppf "popRight()"
+  | Pop_left -> Format.fprintf ppf "popLeft()"
+
+let pp_res pp_v ppf = function
+  | Okay -> Format.fprintf ppf "okay"
+  | Full -> Format.fprintf ppf "full"
+  | Empty -> Format.fprintf ppf "empty"
+  | Got v -> Format.fprintf ppf "%a" pp_v v
+
+(* Well-formedness of a result for an operation, independent of state:
+   pushes answer Okay/Full, pops answer Got/Empty. *)
+let res_matches_op op res =
+  match (op, res) with
+  | (Push_right _ | Push_left _), (Okay | Full) -> true
+  | (Pop_right | Pop_left), (Got _ | Empty) -> true
+  | (Push_right _ | Push_left _), (Got _ | Empty) -> false
+  | (Pop_right | Pop_left), (Okay | Full) -> false

@@ -1,0 +1,21 @@
+(** The deque operation vocabulary of Section 2.2.
+
+    Shared by the sequential oracle, the history recorder, the
+    linearizability checker and the model-checking scenarios. *)
+
+type 'a op = Push_right of 'a | Push_left of 'a | Pop_right | Pop_left
+
+type 'a res = Okay | Full | Empty | Got of 'a
+(** Pushes answer [Okay]/[Full]; pops answer [Got v]/[Empty]. *)
+
+val equal_res : ('a -> 'a -> bool) -> 'a res -> 'a res -> bool
+
+val pp_op :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a op -> unit
+
+val pp_res :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a res -> unit
+
+val res_matches_op : 'a op -> 'b res -> bool
+(** Shape-level well-formedness: is [res] a possible answer for [op],
+    regardless of state? *)

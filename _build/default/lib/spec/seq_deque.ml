@@ -1,0 +1,123 @@
+(* The sequential deque specification of Section 2.2, as an executable
+   state machine: the oracle against which every concurrent
+   implementation is checked (directly in sequential tests, via the
+   linearizability checker in concurrent ones, and as the abstraction
+   function's codomain in the model checker).
+
+   The representation is the classic pair of lists: [front] holds the
+   left end of the sequence in order, [back] holds the right end in
+   reverse.  Popping from an exhausted side splits the opposite list in
+   half, giving O(1) amortized operations, so the oracle never dominates
+   test time. *)
+
+type 'a t = {
+  front : 'a list;  (* leftmost element first *)
+  back : 'a list;  (* rightmost element first *)
+  length : int;
+  capacity : int option;  (* None = unbounded deque *)
+}
+
+let make ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Seq_deque.make: capacity must be >= 1"
+  | Some _ | None -> ());
+  { front = []; back = []; length = 0; capacity }
+
+let length t = t.length
+let is_empty t = t.length = 0
+
+let is_full t =
+  match t.capacity with None -> false | Some c -> t.length >= c
+
+let to_list t = t.front @ List.rev t.back
+
+let of_list ?capacity xs =
+  (match capacity with
+  | Some c when List.length xs > c ->
+      invalid_arg "Seq_deque.of_list: more elements than capacity"
+  | Some _ | None -> ());
+  { front = xs; back = []; length = List.length xs; capacity }
+
+(* Split a list in two halves; used to rebalance when one side runs
+   out.  The first half keeps ceil(n/2) elements. *)
+let split_half xs =
+  let n = List.length xs in
+  let rec take i acc rest =
+    if i = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (i - 1) (x :: acc) rest
+  in
+  take ((n + 1) / 2) [] xs
+
+let push_right t v : 'a t * 'a Op.res =
+  if is_full t then (t, Op.Full)
+  else (( { t with back = v :: t.back; length = t.length + 1 } : 'a t), Op.Okay)
+
+let push_left t v : 'a t * 'a Op.res =
+  if is_full t then (t, Op.Full)
+  else ({ t with front = v :: t.front; length = t.length + 1 }, Op.Okay)
+
+let pop_right t : 'a t * 'a Op.res =
+  match t.back with
+  | v :: back -> ({ t with back; length = t.length - 1 }, Op.Got v)
+  | [] -> (
+      match t.front with
+      | [] -> (t, Op.Empty)
+      | front -> (
+          (* back exhausted: move the right half of front over *)
+          let front', moved = split_half front in
+          match List.rev moved with
+          | v :: back ->
+              ({ t with front = front'; back; length = t.length - 1 }, Op.Got v)
+          | [] -> (
+              (* moved was empty: front had a single element *)
+              match List.rev front' with
+              | v :: back ->
+                  ({ t with front = []; back; length = t.length - 1 }, Op.Got v)
+              | [] -> assert false)))
+
+let pop_left t : 'a t * 'a Op.res =
+  match t.front with
+  | v :: front -> ({ t with front; length = t.length - 1 }, Op.Got v)
+  | [] -> (
+      match t.back with
+      | [] -> (t, Op.Empty)
+      | back -> (
+          let back', moved = split_half back in
+          match List.rev moved with
+          | v :: front ->
+              ({ t with back = back'; front; length = t.length - 1 }, Op.Got v)
+          | [] -> (
+              match List.rev back' with
+              | v :: front ->
+                  ({ t with back = []; front; length = t.length - 1 }, Op.Got v)
+              | [] -> assert false)))
+
+let apply t (op : 'a Op.op) : 'a t * 'a Op.res =
+  match op with
+  | Op.Push_right v -> push_right t v
+  | Op.Push_left v -> push_left t v
+  | Op.Pop_right -> pop_right t
+  | Op.Pop_left -> pop_left t
+
+let peek_right t =
+  match t.back with
+  | v :: _ -> Some v
+  | [] -> ( match List.rev t.front with v :: _ -> Some v | [] -> None)
+
+let peek_left t =
+  match t.front with
+  | v :: _ -> Some v
+  | [] -> ( match List.rev t.back with v :: _ -> Some v | [] -> None)
+
+let equal eq a b =
+  a.length = b.length
+  && a.capacity = b.capacity
+  && List.equal eq (to_list a) (to_list b)
+
+let pp pp_v ppf t =
+  Format.fprintf ppf "@[<h>\u{27e8}%a\u{27e9}@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_v)
+    (to_list t)

@@ -1,0 +1,42 @@
+(** The sequential deque specification of Section 2.2 — the oracle.
+
+    A deque is a sequence ⟨v0, …, vk⟩ with four operations whose
+    transitions and return values are exactly those listed in the
+    paper.  [capacity] bounds the cardinality for the array-based
+    bounded deque; omit it for the unbounded (linked-list) deque. *)
+
+type 'a t
+
+val make : ?capacity:int -> unit -> 'a t
+(** The empty deque, i.e. the state after [make_deque(length_S)].
+
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+(** Always [false] for unbounded deques. *)
+
+val to_list : 'a t -> 'a list
+(** The sequence left-to-right: head of the list is the left end. *)
+
+val of_list : ?capacity:int -> 'a list -> 'a t
+(** @raise Invalid_argument if the list exceeds [capacity]. *)
+
+val push_right : 'a t -> 'a -> 'a t * 'a Op.res
+val push_left : 'a t -> 'a -> 'a t * 'a Op.res
+val pop_right : 'a t -> 'a t * 'a Op.res
+val pop_left : 'a t -> 'a t * 'a Op.res
+
+val apply : 'a t -> 'a Op.op -> 'a t * 'a Op.res
+(** Dispatch one operation; the transition function of the state
+    machine. *)
+
+val peek_right : 'a t -> 'a option
+val peek_left : 'a t -> 'a option
+
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+(** Equality of abstract deque values (same sequence and capacity). *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,1 @@
+lib/worksteal/scheduler.ml: Array Atomic Baselines Deque Domain Harness List Worksteal_intf

@@ -1,0 +1,1 @@
+lib/worksteal/scheduler.mli: Deque Worksteal_intf

@@ -1,0 +1,1 @@
+lib/worksteal/workloads.ml: Atomic Worksteal_intf

@@ -1,0 +1,1 @@
+lib/worksteal/workloads.mli: Worksteal_intf

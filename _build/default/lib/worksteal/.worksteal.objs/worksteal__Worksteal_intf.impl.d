@@ -1,0 +1,1 @@
+lib/worksteal/worksteal_intf.ml: Harness

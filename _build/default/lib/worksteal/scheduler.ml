@@ -1,0 +1,148 @@
+(* A work-stealing task scheduler in the style of Arora, Blumofe and
+   Plaxton [4] — the application domain the paper cites for deques
+   ("currently used in load balancing algorithms").  Each worker owns a
+   deque of tasks: it pushes and pops its own bottom end (LIFO, for
+   locality) and steals from a random victim's top end (FIFO, for load
+   spread).  Global termination is detected with a pending-task
+   counter: it is incremented before a task becomes visible and
+   decremented after the task body finishes, so it can only reach zero
+   when no task is queued or running. *)
+
+module Make (D : Worksteal_intf.WORKSTEAL_DEQUE) :
+  Worksteal_intf.SCHEDULER = struct
+  type pool = {
+    deques : task D.t array;
+    pending : int Atomic.t;
+    workers : int;
+  }
+
+  and ctx = { pool : pool; worker : int; rng : Harness.Splitmix.t }
+  and task = ctx -> unit
+
+  let deque_name = D.name
+  let worker ctx = ctx.worker
+  let rng ctx = ctx.rng
+
+  (* Run a task body and retire it. *)
+  let execute ctx (t : task) =
+    t ctx;
+    Atomic.decr ctx.pool.pending
+
+  let spawn ctx t =
+    Atomic.incr ctx.pool.pending;
+    if not (D.push ctx.pool.deques.(ctx.worker) t) then
+      (* deque full: run inline rather than lose the task *)
+      execute ctx t
+
+  let steal_from ctx =
+    let n = ctx.pool.workers in
+    if n <= 1 then None
+    else begin
+      let victim =
+        let v = Harness.Splitmix.int ctx.rng ~bound:(n - 1) in
+        if v >= ctx.worker then v + 1 else v
+      in
+      D.steal ctx.pool.deques.(victim)
+    end
+
+  let worker_loop ctx =
+    let own = ctx.pool.deques.(ctx.worker) in
+    let rec loop () =
+      match D.pop own with
+      | Some t ->
+          execute ctx t;
+          loop ()
+      | None ->
+          if Atomic.get ctx.pool.pending = 0 then ()
+          else begin
+            (match steal_from ctx with
+            | Some t -> execute ctx t
+            | None -> Domain.cpu_relax ());
+            loop ()
+          end
+    in
+    loop ()
+
+  let run ?(seed = 0xD0E5) ~workers ~capacity root =
+    if workers < 1 then invalid_arg "Scheduler.run: workers must be >= 1";
+    let master = Harness.Splitmix.create ~seed in
+    let pool =
+      {
+        deques = Array.init workers (fun _ -> D.create ~capacity ());
+        pending = Atomic.make 0;
+        workers;
+      }
+    in
+    let ctxs =
+      Array.init workers (fun worker ->
+          { pool; worker; rng = Harness.Splitmix.split master })
+    in
+    (* seed the root task on worker 0's deque *)
+    Atomic.incr pool.pending;
+    if not (D.push pool.deques.(0) root) then
+      invalid_arg "Scheduler.run: capacity too small for the root task";
+    let domains =
+      List.init workers (fun i -> Domain.spawn (fun () -> worker_loop ctxs.(i)))
+    in
+    List.iter Domain.join domains
+end
+
+(* --- Deque adapters --- *)
+
+(* The ABP deque implements the restricted interface natively. *)
+module Abp_adapter : Worksteal_intf.WORKSTEAL_DEQUE = struct
+  type 'a t = 'a Baselines.Abp_deque.t
+
+  let name = Baselines.Abp_deque.name
+  let create = Baselines.Abp_deque.create
+
+  let push d v =
+    match Baselines.Abp_deque.push_bottom d v with `Okay -> true | `Full -> false
+
+  let pop d =
+    match Baselines.Abp_deque.pop_bottom d with
+    | `Value v -> Some v
+    | `Empty -> None
+
+  let steal d =
+    match Baselines.Abp_deque.steal_retry d with
+    | `Value v -> Some v
+    | `Empty -> None
+end
+
+(* Any general deque runs the same role by restriction: the owner uses
+   the right end, thieves pop the left end. *)
+module Restrict (D : Deque.Deque_intf.S) : Worksteal_intf.WORKSTEAL_DEQUE =
+struct
+  type 'a t = 'a D.t
+
+  let name = D.name
+  let create = D.create
+  let push d v = match D.push_right d v with `Okay -> true | `Full -> false
+  let pop d = match D.pop_right d with `Value v -> Some v | `Empty -> None
+  let steal d = match D.pop_left d with `Value v -> Some v | `Empty -> None
+end
+
+module Abp_scheduler = Make (Abp_adapter)
+
+module Array_deque_adapter = Restrict (struct
+  include Deque.Array_deque.Lockfree
+
+  let name = Deque.Array_deque.Lockfree.name
+end)
+
+module List_deque_adapter = Restrict (struct
+  include Deque.List_deque.Lockfree
+
+  let name = Deque.List_deque.Lockfree.name
+end)
+
+module Lock_deque_adapter = Restrict (struct
+  include Baselines.Lock_deque
+
+  let name = Baselines.Lock_deque.name
+end)
+
+module Array_scheduler = Make (Array_deque_adapter)
+module List_scheduler = Make (List_deque_adapter)
+module Lock_scheduler = Make (Lock_deque_adapter)

@@ -1,0 +1,39 @@
+(* Task-parallel workloads for the work-stealing experiments (E8) and
+   the work_stealing example: a Fibonacci spawn tree (irregular,
+   steal-heavy near the root) and a uniform d-ary tree (regular,
+   measures raw scheduling overhead).  Results are accumulated into an
+   atomic so the workloads double as correctness checks — the scheduler
+   must neither lose nor duplicate tasks. *)
+
+module Make (S : Worksteal_intf.SCHEDULER) = struct
+  (* Sum of leaf values of the naive Fibonacci recursion equals
+     fib(n); below [cutoff] the computation runs sequentially inside
+     the task, as any practical scheduler would. *)
+  let fib ?(seed = 17) ?(cutoff = 10) ~workers ~capacity n =
+    let rec seq_fib n = if n < 2 then n else seq_fib (n - 1) + seq_fib (n - 2) in
+    let acc = Atomic.make 0 in
+    let rec task n ctx =
+      if n < cutoff then ignore (Atomic.fetch_and_add acc (seq_fib n))
+      else begin
+        S.spawn ctx (task (n - 1));
+        S.spawn ctx (task (n - 2))
+      end
+    in
+    S.run ~seed ~workers ~capacity (task n);
+    Atomic.get acc
+
+  (* Spawn a complete [degree]-ary tree of the given [depth]; the
+     result counts the leaves, so the expected value is
+     degree^depth. *)
+  let tree ?(seed = 23) ~workers ~capacity ~degree ~depth () =
+    let acc = Atomic.make 0 in
+    let rec task depth ctx =
+      if depth = 0 then Atomic.incr acc
+      else
+        for _ = 1 to degree do
+          S.spawn ctx (task (depth - 1))
+        done
+    in
+    S.run ~seed ~workers ~capacity (task depth);
+    Atomic.get acc
+end

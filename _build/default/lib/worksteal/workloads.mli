@@ -1,0 +1,16 @@
+(** Task-parallel workloads for the work-stealing experiments.  Results
+    are exact (accumulated atomically), so each run doubles as a
+    no-task-lost/no-task-duplicated check of the scheduler and its
+    deque. *)
+
+module Make (S : Worksteal_intf.SCHEDULER) : sig
+  val fib : ?seed:int -> ?cutoff:int -> workers:int -> capacity:int -> int -> int
+  (** Naive Fibonacci spawn tree with a sequential [cutoff]; returns
+      fib(n). *)
+
+  val tree :
+    ?seed:int -> workers:int -> capacity:int -> degree:int -> depth:int ->
+    unit -> int
+  (** Complete [degree]-ary spawn tree; returns the leaf count
+      (degree^depth). *)
+end

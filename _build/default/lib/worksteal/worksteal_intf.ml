@@ -1,0 +1,44 @@
+(* Interfaces of the work-stealing substrate.
+
+   WORKSTEAL_DEQUE is the restricted deque shape of Arora, Blumofe and
+   Plaxton [4]: the owner pushes and pops one end, thieves pop the
+   other.  The ABP baseline implements it natively with CAS only; the
+   paper's general deques implement it by restriction (experiment E8
+   compares the two inside the same scheduler). *)
+
+module type WORKSTEAL_DEQUE = sig
+  type 'a t
+
+  val name : string
+  val create : capacity:int -> unit -> 'a t
+
+  val push : 'a t -> 'a -> bool
+  (** Owner only.  [false] means the deque is full. *)
+
+  val pop : 'a t -> 'a option
+  (** Owner only. *)
+
+  val steal : 'a t -> 'a option
+  (** Any thread. *)
+end
+
+module type SCHEDULER = sig
+  type ctx
+  (** A worker's execution context, passed to every task. *)
+
+  val worker : ctx -> int
+  (** Index of the worker currently running the task. *)
+
+  val rng : ctx -> Harness.Splitmix.t
+  (** The worker's deterministic RNG stream. *)
+
+  val spawn : ctx -> (ctx -> unit) -> unit
+  (** Make a task available for execution (possibly inline if the
+      worker's deque is full). *)
+
+  val run : ?seed:int -> workers:int -> capacity:int -> (ctx -> unit) -> unit
+  (** Run the root task to global quiescence on [workers] domains, each
+      owning a deque of [capacity] tasks. *)
+
+  val deque_name : string
+end

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Int List Op QCheck2 QCheck_alcotest Seq_deque Spec String

@@ -1,0 +1,1 @@
+test/test_array_deque.ml: Alcotest Deque Harness List Op QCheck_alcotest Spec Test_support

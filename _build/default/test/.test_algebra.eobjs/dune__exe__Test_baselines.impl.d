@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Atomic Baselines Domain List Modelcheck QCheck_alcotest Spec Test_support

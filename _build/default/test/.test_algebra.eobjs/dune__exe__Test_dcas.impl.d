@@ -1,0 +1,1 @@
+test/test_dcas.ml: Alcotest Array Atomic Dcas Domain Harness List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Harness Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+test/test_linearizability.ml: Alcotest Array Deque Format History Linearizability List Op Printf QCheck2 QCheck_alcotest Seq_deque Spec String Test_support

@@ -1,0 +1,1 @@
+test/test_list_deque.ml: Alcotest Deque Harness List Modelcheck Printf QCheck_alcotest Spec Test_support

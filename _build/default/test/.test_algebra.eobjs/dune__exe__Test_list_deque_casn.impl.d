@@ -1,0 +1,1 @@
+test/test_list_deque_casn.ml: Alcotest Deque List Modelcheck QCheck_alcotest Spec String Test_support

@@ -1,0 +1,1 @@
+test/test_list_deque_casn.mli:

@@ -1,0 +1,1 @@
+test/test_list_deque_dummy.ml: Alcotest Deque Harness List QCheck_alcotest Test_support

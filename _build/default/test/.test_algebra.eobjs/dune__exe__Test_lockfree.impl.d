@@ -1,0 +1,1 @@
+test/test_lockfree.ml: Alcotest Atomic Baselines Dcas Deque Domain Harness Modelcheck Printf Spec Unix

@@ -1,0 +1,1 @@
+test/test_modelcheck.ml: Alcotest Format List Modelcheck Printf QCheck2 QCheck_alcotest Spec String

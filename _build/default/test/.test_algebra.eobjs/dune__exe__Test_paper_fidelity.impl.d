@@ -1,0 +1,1 @@
+test/test_paper_fidelity.ml: Alcotest Dcas Deque List Printf

@@ -1,0 +1,1 @@
+test/test_seq_deque.ml: Alcotest Format List Op QCheck2 QCheck_alcotest Seq_deque Spec String

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Atomic Baselines Deque Domain List Printf Spec Test_support

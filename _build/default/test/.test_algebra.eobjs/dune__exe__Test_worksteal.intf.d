@@ -1,0 +1,1 @@
+test/test_worksteal.mli:

@@ -1,0 +1,5 @@
+  $ ../../bin/explore.exe --algo array --prefill 42 --thread qr --thread ql
+  $ ../../bin/explore.exe --algo list --prefill 1,2 --setup qr,ql --thread pr:3 --thread pl:4
+  $ ../../bin/explore.exe --algo 3cas --prefill 1,2 --thread qr --thread ql
+  $ ../../bin/explore.exe --algo greenwald2 --length 2 --prefill 7 --thread pr:9 --thread ql,pr:8 > /dev/null 2>&1
+  $ ../../bin/explore.exe --algo list --prefill 1,2 --thread qr,pr:3 --thread ql --victim 0

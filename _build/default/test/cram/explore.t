@@ -1,0 +1,27 @@
+The model-checker CLI explores scripted scenarios exhaustively and
+deterministically, so its output is stable.
+
+Figure 6 on the array deque: two pops race for one element.
+
+  $ ../../bin/explore.exe --algo array --prefill 42 --thread qr --thread ql
+  ok (70 schedules, exhaustive)
+
+Figure 16 on the list deque: contending physical deletions.
+
+  $ ../../bin/explore.exe --algo list --prefill 1,2 --setup qr,ql --thread pr:3 --thread pl:4
+  ok (55768 schedules, exhaustive)
+
+The 3CAS extension handles the same contention.
+
+  $ ../../bin/explore.exe --algo 3cas --prefill 1,2 --thread qr --thread ql
+  ok (70 schedules, exhaustive)
+
+Greenwald v2's documented flaw is found automatically (exit code 1).
+
+  $ ../../bin/explore.exe --algo greenwald2 --length 2 --prefill 7 --thread pr:9 --thread ql,pr:8 > /dev/null 2>&1
+  [1]
+
+Lock-freedom: thread 0 frozen at every reachable step count.
+
+  $ ../../bin/explore.exe --algo list --prefill 1,2 --thread qr,pr:3 --thread ql --victim 0
+  non-blocking: all other threads completed at every one of the victim's 12 stall points

@@ -1,0 +1,254 @@
+(* Shared machinery for testing deque implementations: sequential
+   equivalence against the Section 2.2 oracle, qcheck operation
+   generators, multi-domain stress with conservation checking, and
+   history recording + linearizability checking on real domains.
+
+   Implementations are presented as [impl] records of closures so the
+   same machinery runs over every algorithm and memory model without
+   fighting the type system over the parameterized ['a t]; each test
+   file builds its impls with [of_module] (plus a [to_list] closure
+   where the implementation offers quiescent inspection). *)
+
+open Spec
+
+module type DEQUE = Deque.Deque_intf.S
+
+(* A live deque instance, as closures. *)
+type handle = {
+  apply : int Op.op -> int Op.res;
+  to_list : (unit -> int list) option;  (* quiescent-only *)
+  invariant : (unit -> (unit, string) result) option;  (* quiescent-only *)
+}
+
+(* An implementation under test. *)
+type impl = {
+  impl_name : string;
+  bounded : bool;  (* does capacity bind (array) or not (list)? *)
+  fresh : capacity:int -> handle;
+}
+
+let handle_of_ops ~push_right ~push_left ~pop_right ~pop_left ~to_list
+    ~invariant =
+  {
+    apply =
+      (fun (op : int Op.op) ->
+        match op with
+        | Op.Push_right v -> Deque.Deque_intf.res_of_push (push_right v)
+        | Op.Push_left v -> Deque.Deque_intf.res_of_push (push_left v)
+        | Op.Pop_right -> Deque.Deque_intf.res_of_pop (pop_right ())
+        | Op.Pop_left -> Deque.Deque_intf.res_of_pop (pop_left ()));
+    to_list;
+    invariant;
+  }
+
+(* Build an impl from any module matching the uniform interface; no
+   quiescent inspection. *)
+let of_module (module D : DEQUE) ~bounded =
+  {
+    impl_name = D.name;
+    bounded;
+    fresh =
+      (fun ~capacity ->
+        let d = D.create ~capacity () in
+        handle_of_ops
+          ~push_right:(fun v -> D.push_right d v)
+          ~push_left:(fun v -> D.push_left d v)
+          ~pop_right:(fun () -> D.pop_right d)
+          ~pop_left:(fun () -> D.pop_left d)
+          ~to_list:None ~invariant:None);
+  }
+
+(* --- Sequential equivalence --- *)
+
+(* Run [ops] single-threadedly against both the implementation and the
+   oracle; every response must agree, and the implementation's
+   quiescent contents (when inspectable) must match the oracle's. *)
+let sequential_vs_oracle impl ~capacity ops =
+  let h = impl.fresh ~capacity in
+  let oracle =
+    Seq_deque.make ?capacity:(if impl.bounded then Some capacity else None) ()
+  in
+  let rec go oracle i = function
+    | [] -> (
+        match h.to_list with
+        | None -> Ok ()
+        | Some to_list ->
+            let got = to_list () and expect = Seq_deque.to_list oracle in
+            if got = expect then Ok ()
+            else
+              Error
+                (Printf.sprintf "final contents [%s], oracle [%s]"
+                   (String.concat ";" (List.map string_of_int got))
+                   (String.concat ";" (List.map string_of_int expect))))
+    | op :: rest -> (
+        let got = h.apply op in
+        let oracle', expect = Seq_deque.apply oracle op in
+        if not (Op.equal_res Int.equal got expect) then
+          Error
+            (Format.asprintf "op %d (%a): implementation %a, oracle %a" i
+               (Op.pp_op Format.pp_print_int)
+               op
+               (Op.pp_res Format.pp_print_int)
+               got
+               (Op.pp_res Format.pp_print_int)
+               expect)
+        else
+          match h.invariant with
+          | Some check when i mod 7 = 0 -> (
+              match check () with
+              | Ok () -> go oracle' (i + 1) rest
+              | Error e -> Error (Printf.sprintf "op %d: invariant: %s" i e))
+          | Some _ | None -> go oracle' (i + 1) rest)
+  in
+  go oracle 0 ops
+
+(* --- Operation generators --- *)
+
+let op_gen =
+  let open QCheck2.Gen in
+  frequency
+    [
+      (3, map (fun v -> Op.Push_right v) (int_bound 999));
+      (3, map (fun v -> Op.Push_left v) (int_bound 999));
+      (2, return Op.Pop_right);
+      (2, return Op.Pop_left);
+    ]
+
+let ops_gen ~max_len = QCheck2.Gen.(list_size (0 -- max_len) op_gen)
+
+let print_ops ops =
+  ops
+  |> List.map (fun op -> Format.asprintf "%a" (Op.pp_op Format.pp_print_int) op)
+  |> String.concat "; "
+
+(* The standard qcheck test every implementation runs. *)
+let qcheck_sequential ?(count = 200) ?(capacity = 8) impl =
+  QCheck2.Test.make
+    ~name:(impl.impl_name ^ ": random ops agree with oracle")
+    ~count ~print:print_ops (ops_gen ~max_len:300) (fun ops ->
+      match sequential_vs_oracle impl ~capacity ops with
+      | Ok () -> true
+      | Error e -> QCheck2.Test.fail_report e)
+
+(* --- Multi-domain stress --- *)
+
+(* Every pushed value is unique (tid, seq); after the run, the popped
+   sets and the remainder must partition the pushed set.  Hash tables
+   are per-thread so recording is race-free. *)
+let stress_conservation impl ~threads ~iters ~capacity () =
+  let h = impl.fresh ~capacity in
+  let popped : (int, unit) Hashtbl.t array =
+    Array.init threads (fun _ -> Hashtbl.create 1024)
+  in
+  let pushed : (int, unit) Hashtbl.t array =
+    Array.init threads (fun _ -> Hashtbl.create 1024)
+  in
+  let encode tid seq = (tid * 10_000_000) + seq in
+  let _elapsed =
+    Harness.Runner.run_fixed ~threads ~iters (fun ~tid ~rng ~i ->
+        match Harness.Splitmix.int rng ~bound:4 with
+        | 0 ->
+            if h.apply (Op.Push_right (encode tid i)) = Op.Okay then
+              Hashtbl.replace pushed.(tid) (encode tid i) ()
+        | 1 ->
+            if h.apply (Op.Push_left (encode tid i)) = Op.Okay then
+              Hashtbl.replace pushed.(tid) (encode tid i) ()
+        | 2 -> (
+            match h.apply Op.Pop_right with
+            | Op.Got v -> Hashtbl.replace popped.(tid) v ()
+            | Op.Empty -> ()
+            | Op.Okay | Op.Full -> assert false)
+        | _ -> (
+            match h.apply Op.Pop_left with
+            | Op.Got v -> Hashtbl.replace popped.(tid) v ()
+            | Op.Empty -> ()
+            | Op.Okay | Op.Full -> assert false))
+  in
+  (match h.invariant with
+  | Some check -> (
+      match check () with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "post-stress invariant: %s" e)
+  | None -> ());
+  let remaining = match h.to_list with Some f -> f () | None -> [] in
+  let all_pushed = Hashtbl.create 4096 in
+  Array.iter
+    (fun tbl -> Hashtbl.iter (fun v () -> Hashtbl.replace all_pushed v ()) tbl)
+    pushed;
+  let all_popped = Hashtbl.create 4096 in
+  Array.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun v () ->
+          if Hashtbl.mem all_popped v then
+            Alcotest.failf "value %d popped twice" v;
+          if not (Hashtbl.mem all_pushed v) then
+            Alcotest.failf "value %d popped but never pushed" v;
+          Hashtbl.replace all_popped v ())
+        tbl)
+    popped;
+  List.iter
+    (fun v ->
+      if Hashtbl.mem all_popped v then
+        Alcotest.failf "value %d both popped and still present" v;
+      if not (Hashtbl.mem all_pushed v) then
+        Alcotest.failf "value %d present but never pushed" v)
+    remaining;
+  match h.to_list with
+  | Some _ ->
+      Alcotest.(check int)
+        "pushes = pops + remaining"
+        (Hashtbl.length all_pushed)
+        (Hashtbl.length all_popped + List.length remaining)
+  | None ->
+      Alcotest.(check bool)
+        "pops <= pushes" true
+        (Hashtbl.length all_popped <= Hashtbl.length all_pushed)
+
+(* --- Linearizability of real concurrent histories --- *)
+
+let record_round impl ~threads ~ops_per_thread ~capacity ~seed =
+  let h = impl.fresh ~capacity in
+  let recorder = Spec.History.Recorder.create ~threads in
+  let master = Harness.Splitmix.create ~seed in
+  let rngs = Array.init threads (fun _ -> Harness.Splitmix.split master) in
+  let started = Atomic.make 0 in
+  let worker tid () =
+    let rng = rngs.(tid) in
+    Atomic.incr started;
+    while Atomic.get started < threads do
+      Domain.cpu_relax ()
+    done;
+    for i = 1 to ops_per_thread do
+      let op =
+        match Harness.Splitmix.int rng ~bound:4 with
+        | 0 -> Op.Push_right ((tid * 1000) + i)
+        | 1 -> Op.Push_left ((tid * 1000) + i)
+        | 2 -> Op.Pop_right
+        | _ -> Op.Pop_left
+      in
+      ignore
+        (Spec.History.Recorder.record recorder ~thread:tid op (fun () ->
+             h.apply op))
+    done
+  in
+  let ds = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  let history = Spec.History.Recorder.history recorder in
+  Spec.Linearizability.check_deque
+    ?capacity:(if impl.bounded then Some capacity else None)
+    history
+  |> Result.map_error (fun () ->
+         Format.asprintf "%a"
+           (Spec.History.pp
+              (Op.pp_op Format.pp_print_int)
+              (Op.pp_res Format.pp_print_int))
+           history)
+
+let check_linearizable_rounds impl ~threads ~ops_per_thread ~capacity ~rounds =
+  for seed = 1 to rounds do
+    match record_round impl ~threads ~ops_per_thread ~capacity ~seed with
+    | Ok _witness -> ()
+    | Error history ->
+        Alcotest.failf "round %d: history not linearizable:@.%s" seed history
+  done

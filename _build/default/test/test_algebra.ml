@@ -1,0 +1,128 @@
+(* Tests for Spec.Algebra: the Figure 35 deque axioms, checked both on
+   enumerated small terms and with qcheck generators, plus the bridge
+   between the algebra and the Section 2.2 state machine. *)
+
+open Spec
+
+let eq_int = Int.equal
+
+(* A generator of small algebra terms over small ints. *)
+let term_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ return Algebra.EmptyQ; map (fun v -> Algebra.Singleton v) (int_bound 9) ]
+      else
+        frequency
+          [
+            (1, return Algebra.EmptyQ);
+            (2, map (fun v -> Algebra.Singleton v) (int_bound 9));
+            ( 3,
+              map2
+                (fun a b -> Algebra.Concat (a, b))
+                (self (n / 2)) (self (n / 2)) );
+          ])
+
+let print_term t =
+  t |> Algebra.denote |> List.map string_of_int |> String.concat ","
+
+let law1 name f =
+  QCheck2.Test.make ~name ~count:500 ~print:print_term term_gen f
+
+let law2 name f =
+  QCheck2.Test.make ~name ~count:500
+    ~print:(QCheck2.Print.pair print_term print_term)
+    (QCheck2.Gen.pair term_gen term_gen)
+    (fun (a, b) -> f a b)
+
+let law3 name f =
+  QCheck2.Test.make ~name ~count:500
+    ~print:(QCheck2.Print.triple print_term print_term print_term)
+    (QCheck2.Gen.triple term_gen term_gen term_gen)
+    (fun (a, b, c) -> f a b c)
+
+let qcheck_laws =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      law1 "concat_empty_right" (Algebra.Laws.concat_empty_right eq_int);
+      law1 "concat_empty_left" (Algebra.Laws.concat_empty_left eq_int);
+      law2 "concat_nonempty_left" (Algebra.Laws.concat_nonempty_left eq_int);
+      law2 "concat_nonempty_right" (Algebra.Laws.concat_nonempty_right eq_int);
+      law3 "concat_assoc" (Algebra.Laws.concat_assoc eq_int);
+      law2 "peek_r_concat" Algebra.Laws.peek_r_concat;
+      law2 "peek_l_concat" Algebra.Laws.peek_l_concat;
+      law2 "pop_r_concat" (Algebra.Laws.pop_r_concat eq_int);
+      law2 "pop_l_concat" (Algebra.Laws.pop_l_concat eq_int);
+      law2 "len_concat" (fun a b -> Algebra.Laws.len_concat a b);
+      law1 "push_l_def" (fun q -> Algebra.Laws.push_l_def eq_int q 7);
+      law1 "push_r_def" (fun q -> Algebra.Laws.push_r_def eq_int q 7);
+    ]
+
+let test_singleton_laws () =
+  for v = -3 to 3 do
+    Alcotest.(check bool) "constructors_distinct" true
+      (Algebra.Laws.constructors_distinct v);
+    Alcotest.(check bool) "peek_r_singleton" true (Algebra.Laws.peek_r_singleton v);
+    Alcotest.(check bool) "peek_l_singleton" true (Algebra.Laws.peek_l_singleton v);
+    Alcotest.(check bool) "pop_r_singleton" true
+      (Algebra.Laws.pop_r_singleton eq_int v);
+    Alcotest.(check bool) "pop_l_singleton" true
+      (Algebra.Laws.pop_l_singleton eq_int v);
+    Alcotest.(check bool) "len_singleton" true (Algebra.Laws.len_singleton v)
+  done;
+  Alcotest.(check bool) "len_empty" true (Algebra.Laws.len_empty ())
+
+(* The algebra's mutators agree with the Section 2.2 state machine. *)
+let test_bridge_push_pop () =
+  let t = Algebra.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "denote" [ 1; 2; 3 ] (Algebra.denote t);
+  let t = Algebra.push_l t 0 in
+  let t = Algebra.push_r t 4 in
+  Alcotest.(check (list int)) "pushes" [ 0; 1; 2; 3; 4 ] (Algebra.denote t);
+  Alcotest.(check (option int)) "peek_l" (Some 0) (Algebra.peek_l t);
+  Alcotest.(check (option int)) "peek_r" (Some 4) (Algebra.peek_r t);
+  match (Algebra.pop_l t, Algebra.pop_r t) with
+  | Some l, Some r ->
+      Alcotest.(check (list int)) "pop_l" [ 1; 2; 3; 4 ] (Algebra.denote l);
+      Alcotest.(check (list int)) "pop_r" [ 0; 1; 2; 3 ] (Algebra.denote r)
+  | _ -> Alcotest.fail "pop on non-empty returned None"
+
+let test_pops_undefined_on_empty () =
+  Alcotest.(check bool) "pop_r EmptyQ" true (Algebra.pop_r Algebra.EmptyQ = None);
+  Alcotest.(check bool) "pop_l EmptyQ" true (Algebra.pop_l Algebra.EmptyQ = None);
+  Alcotest.(check bool) "peek_r EmptyQ" true (Algebra.peek_r Algebra.EmptyQ = None);
+  Alcotest.(check bool) "peek_l EmptyQ" true (Algebra.peek_l Algebra.EmptyQ = None)
+
+(* qcheck: algebra operations commute with the Seq_deque oracle *)
+let commute_with_oracle =
+  QCheck2.Test.make ~name:"algebra agrees with Seq_deque oracle" ~count:500
+    ~print:print_term term_gen (fun t ->
+      let d = Algebra.to_seq_deque t in
+      let via_algebra =
+        match Algebra.pop_l (Algebra.push_r t 42) with
+        | Some t' -> Algebra.denote t'
+        | None -> []
+      in
+      let via_oracle =
+        let d, r1 = Seq_deque.push_right d 42 in
+        let d, r2 = Seq_deque.pop_left d in
+        assert (r1 = Op.Okay);
+        ignore r2;
+        Seq_deque.to_list d
+      in
+      via_algebra = via_oracle)
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ("figure-35-laws", qcheck_laws);
+      ( "singleton-laws",
+        [ Alcotest.test_case "enumerated" `Quick test_singleton_laws ] );
+      ( "bridge",
+        [
+          Alcotest.test_case "push/pop/peek" `Quick test_bridge_push_pop;
+          Alcotest.test_case "empty partiality" `Quick test_pops_undefined_on_empty;
+          QCheck_alcotest.to_alcotest commute_with_oracle;
+        ] );
+    ]

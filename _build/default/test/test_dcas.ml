@@ -1,0 +1,323 @@
+(* Tests for the DCAS memory models: Figure 1 semantics sequentially on
+   every model, and atomicity under real concurrency — the pair-ness of
+   DCAS is exactly what a broken emulation loses first, so the
+   concurrent tests revolve around invariants that relate the two
+   locations of each DCAS. *)
+
+module type MEM = Dcas.Memory_intf.MEMORY
+
+let models : (module MEM) list =
+  [
+    (module Dcas.Mem_lockfree);
+    (module Dcas.Mem_lock);
+    (module Dcas.Mem_striped);
+    (module Dcas.Mem_seq);
+  ]
+
+let concurrent_models : (module MEM) list =
+  [ (module Dcas.Mem_lockfree); (module Dcas.Mem_lock); (module Dcas.Mem_striped) ]
+
+(* --- Sequential Figure 1 semantics --- *)
+
+let seq_tests (module M : MEM) =
+  let name tag = M.name ^ ": " ^ tag in
+  [
+    Alcotest.test_case (name "get/set roundtrip") `Quick (fun () ->
+        let l = M.make 1 in
+        Alcotest.(check int) "initial" 1 (M.get l);
+        M.set l 42;
+        Alcotest.(check int) "after set" 42 (M.get l);
+        M.set_private l 7;
+        Alcotest.(check int) "after set_private" 7 (M.get l));
+    Alcotest.test_case (name "dcas success updates both") `Quick (fun () ->
+        let a = M.make 1 and b = M.make 2 in
+        Alcotest.(check bool) "succeeds" true (M.dcas a b 1 2 10 20);
+        Alcotest.(check int) "a" 10 (M.get a);
+        Alcotest.(check int) "b" 20 (M.get b));
+    Alcotest.test_case (name "dcas failure updates neither") `Quick (fun () ->
+        let a = M.make 1 and b = M.make 2 in
+        Alcotest.(check bool) "first mismatch" false (M.dcas a b 9 2 10 20);
+        Alcotest.(check bool) "second mismatch" false (M.dcas a b 1 9 10 20);
+        Alcotest.(check bool) "both mismatch" false (M.dcas a b 9 9 10 20);
+        Alcotest.(check int) "a unchanged" 1 (M.get a);
+        Alcotest.(check int) "b unchanged" 2 (M.get b));
+    Alcotest.test_case (name "dcas across types") `Quick (fun () ->
+        let a = M.make 5 and b = M.make "x" in
+        Alcotest.(check bool) "succeeds" true (M.dcas a b 5 "x" 6 "y");
+        Alcotest.(check int) "a" 6 (M.get a);
+        Alcotest.(check string) "b" "y" (M.get b));
+    Alcotest.test_case (name "same location rejected") `Quick (fun () ->
+        let a = M.make 1 in
+        match M.dcas a a 1 1 2 2 with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case (name "strong form returns view on failure") `Quick
+      (fun () ->
+        let a = M.make 1 and b = M.make 2 in
+        let ok, v1, v2 = M.dcas_strong a b 5 5 0 0 in
+        Alcotest.(check bool) "failed" false ok;
+        Alcotest.(check int) "saw a" 1 v1;
+        Alcotest.(check int) "saw b" 2 v2;
+        let ok, v1, v2 = M.dcas_strong a b 1 2 10 20 in
+        Alcotest.(check bool) "succeeded" true ok;
+        Alcotest.(check int) "old a" 1 v1;
+        Alcotest.(check int) "old b" 2 v2;
+        Alcotest.(check int) "new a" 10 (M.get a));
+    Alcotest.test_case (name "custom equality") `Quick (fun () ->
+        (* physical-equality cells: structurally equal but physically
+           distinct expected values must NOT match *)
+        let x = ref 1 in
+        let l = M.make ~equal:( == ) x in
+        let other = M.make 0 in
+        Alcotest.(check bool) "match on same block" true
+          (M.dcas l other x 0 x 1);
+        let x' = ref 1 in
+        Alcotest.(check bool) "no match on copy" false (M.dcas l other x' 1 x' 2));
+    Alcotest.test_case (name "stats count dcas") `Quick (fun () ->
+        M.reset_stats ();
+        let a = M.make 1 and b = M.make 2 in
+        ignore (M.dcas a b 1 2 3 4);
+        ignore (M.dcas a b 1 2 3 4);
+        let s = M.stats () in
+        Alcotest.(check bool) "attempts >= 2" true (s.dcas_attempts >= 2);
+        Alcotest.(check bool) "successes >= 1" true (s.dcas_successes >= 1);
+        Alcotest.(check bool) "failures happened" true
+          (s.dcas_attempts > s.dcas_successes));
+  ]
+
+(* --- Concurrency: conservation under transfer --- *)
+
+(* Threads move credits between two accounts with DCAS; the total is
+   conserved iff each DCAS is atomic. *)
+let transfer_test (module M : MEM) () =
+  let a = M.make 1000 and b = M.make 1000 in
+  let iters = 20_000 in
+  let worker seed () =
+    let rng = Harness.Splitmix.create ~seed in
+    for _ = 1 to iters do
+      let amount = 1 + Harness.Splitmix.int rng ~bound:5 in
+      let flip = Harness.Splitmix.bool rng in
+      let rec attempt () =
+        let va = M.get a and vb = M.get b in
+        let ok =
+          if flip then M.dcas a b va vb (va - amount) (vb + amount)
+          else M.dcas a b va vb (va + amount) (vb - amount)
+        in
+        if not ok then attempt ()
+      in
+      attempt ()
+    done
+  in
+  let ds = List.init 4 (fun i -> Domain.spawn (worker (i * 7 + 1))) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "total conserved" 2000 (M.get a + M.get b)
+
+(* Writers keep the two locations equal with paired DCAS increments;
+   concurrent snapshots (the strong form's failing view and the no-op
+   DCAS) must never observe them unequal. *)
+let snapshot_test (module M : MEM) () =
+  let a = M.make 0 and b = M.make 0 in
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let writer () =
+    while not (Atomic.get stop) do
+      let rec attempt () =
+        let va = M.get a and vb = M.get b in
+        if not (M.dcas a b va vb (va + 1) (vb + 1)) then attempt ()
+      in
+      attempt ()
+    done
+  in
+  let reader () =
+    for _ = 1 to 20_000 do
+      (* a no-op DCAS that succeeds certifies an atomic view *)
+      let rec snap () =
+        let va = M.get a and vb = M.get b in
+        if M.dcas a b va vb va vb then (va, vb) else snap ()
+      in
+      let va, vb = snap () in
+      if va <> vb then Atomic.incr violations
+    done
+  in
+  let w1 = Domain.spawn writer and w2 = Domain.spawn writer in
+  let r = Domain.spawn reader in
+  Domain.join r;
+  Atomic.set stop true;
+  Domain.join w1;
+  Domain.join w2;
+  Alcotest.(check int) "no unequal snapshots" 0 (Atomic.get violations);
+  Alcotest.(check int) "locations still equal" (M.get a) (M.get b)
+
+(* strong-form views taken under contention are atomic pairs *)
+let strong_view_test (module M : MEM) () =
+  let a = M.make 0 and b = M.make 0 in
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let writer () =
+    while not (Atomic.get stop) do
+      let rec attempt () =
+        let va = M.get a and vb = M.get b in
+        if not (M.dcas a b va vb (va + 1) (vb + 1)) then attempt ()
+      in
+      attempt ()
+    done
+  in
+  let reader () =
+    for _ = 1 to 10_000 do
+      (* expected values never match (negative), so this always fails
+         and must return an atomic view *)
+      let ok, va, vb = M.dcas_strong a b (-1) (-1) 0 0 in
+      if ok || va <> vb then Atomic.incr violations
+    done
+  in
+  let w = Domain.spawn writer in
+  let r = Domain.spawn reader in
+  Domain.join r;
+  Atomic.set stop true;
+  Domain.join w;
+  Alcotest.(check int) "atomic failing views" 0 (Atomic.get violations)
+
+let concurrent_tests (module M : MEM) =
+  [
+    Alcotest.test_case (M.name ^ ": transfer conservation") `Slow
+      (transfer_test (module M));
+    Alcotest.test_case (M.name ^ ": snapshot equality") `Slow
+      (snapshot_test (module M));
+    Alcotest.test_case (M.name ^ ": strong failing view") `Slow
+      (strong_view_test (module M));
+  ]
+
+(* --- CASN (lock-free model only) --- *)
+
+let casn_tests =
+  let module M = Dcas.Mem_lockfree in
+  [
+    Alcotest.test_case "casn: 3-way swap" `Quick (fun () ->
+        let a = M.make 1 and b = M.make 2 and c = M.make 3 in
+        let ok = M.casn [ M.Cass (a, 1, 10); M.Cass (b, 2, 20); M.Cass (c, 3, 30) ] in
+        Alcotest.(check bool) "succeeds" true ok;
+        Alcotest.(check (list int)) "values" [ 10; 20; 30 ]
+          [ M.get a; M.get b; M.get c ]);
+    Alcotest.test_case "casn: partial mismatch changes nothing" `Quick (fun () ->
+        let a = M.make 1 and b = M.make 2 and c = M.make 3 in
+        let ok = M.casn [ M.Cass (a, 1, 10); M.Cass (b, 99, 20); M.Cass (c, 3, 30) ] in
+        Alcotest.(check bool) "fails" false ok;
+        Alcotest.(check (list int)) "unchanged" [ 1; 2; 3 ]
+          [ M.get a; M.get b; M.get c ]);
+    Alcotest.test_case "casn: empty succeeds" `Quick (fun () ->
+        Alcotest.(check bool) "trivial" true (M.casn []));
+    Alcotest.test_case "casn: duplicate locations rejected" `Quick (fun () ->
+        let a = M.make 1 in
+        match M.casn [ M.Cass (a, 1, 2); M.Cass (a, 1, 3) ] with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "casn: concurrent conservation" `Slow (fun () ->
+        (* four counters, transfers across a random pair via casn *)
+        let locs = Array.init 4 (fun _ -> M.make 100) in
+        let worker seed () =
+          let rng = Harness.Splitmix.create ~seed in
+          for _ = 1 to 10_000 do
+            let i = Harness.Splitmix.int rng ~bound:4 in
+            let j = (i + 1 + Harness.Splitmix.int rng ~bound:3) mod 4 in
+            let rec attempt () =
+              let vi = M.get locs.(i) and vj = M.get locs.(j) in
+              if
+                not
+                  (M.casn
+                     [ M.Cass (locs.(i), vi, vi - 1); M.Cass (locs.(j), vj, vj + 1) ])
+              then attempt ()
+            in
+            attempt ()
+          done
+        in
+        let ds = List.init 4 (fun i -> Domain.spawn (worker (i + 11))) in
+        List.iter Domain.join ds;
+        let total = Array.fold_left (fun acc l -> acc + M.get l) 0 locs in
+        Alcotest.(check int) "conserved" 400 total);
+  ]
+
+(* --- qcheck: casn against its sequential semantics --- *)
+
+(* A random batch of (index, expected, new) entries over 5 locations,
+   applied via casn and via a reference fold: outcome and final state
+   must agree. *)
+let casn_matches_reference =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (array_size (return 5) (int_bound 9))
+        (list_size (1 -- 5)
+           (triple (int_bound 4) (int_bound 9) (int_bound 9))))
+  in
+  let print (init, entries) =
+    Printf.sprintf "init=[%s] entries=[%s]"
+      (String.concat ";" (Array.to_list (Array.map string_of_int init)))
+      (String.concat ";"
+         (List.map (fun (i, o, n) -> Printf.sprintf "(%d,%d,%d)" i o n) entries))
+  in
+  QCheck2.Test.make ~name:"casn agrees with sequential reference" ~count:500
+    ~print gen (fun (init, entries) ->
+      let module M = Dcas.Mem_lockfree in
+      (* drop duplicate indices: casn rejects them by contract *)
+      let entries =
+        List.fold_left
+          (fun acc ((i, _, _) as e) ->
+            if List.exists (fun (j, _, _) -> j = i) acc then acc else e :: acc)
+          [] entries
+        |> List.rev
+      in
+      let locs = Array.map (fun v -> M.make v) init in
+      let reference = Array.copy init in
+      let expect_ok =
+        List.for_all (fun (i, o, _) -> reference.(i) = o) entries
+      in
+      if expect_ok then
+        List.iter (fun (i, _, n) -> reference.(i) <- n) entries;
+      let ok = M.casn (List.map (fun (i, o, n) -> M.Cass (locs.(i), o, n)) entries) in
+      ok = expect_ok
+      && Array.for_all2 (fun l v -> M.get l = v) locs reference)
+
+(* --- substrate odds and ends --- *)
+
+let misc_tests =
+  [
+    Alcotest.test_case "backoff: parameter validation" `Quick (fun () ->
+        Alcotest.check_raises "min_wait 0"
+          (Invalid_argument "Backoff.create: need 1 <= min_wait <= max_wait")
+          (fun () -> ignore (Dcas.Backoff.create ~min_wait:0 ()));
+        Alcotest.check_raises "max < min"
+          (Invalid_argument "Backoff.create: need 1 <= min_wait <= max_wait")
+          (fun () -> ignore (Dcas.Backoff.create ~min_wait:8 ~max_wait:4 ())));
+    Alcotest.test_case "backoff: once/reset terminate" `Quick (fun () ->
+        let b = Dcas.Backoff.create ~min_wait:1 ~max_wait:4 () in
+        for _ = 1 to 20 do
+          Dcas.Backoff.once b
+        done;
+        Dcas.Backoff.reset b;
+        Dcas.Backoff.once b);
+    Alcotest.test_case "id: strictly increasing" `Quick (fun () ->
+        let a = Dcas.Id.next () in
+        let b = Dcas.Id.next () in
+        Alcotest.(check bool) "a < b" true (a < b));
+    Alcotest.test_case "opstats: reset zeroes counters" `Quick (fun () ->
+        let module M = Dcas.Mem_seq in
+        M.reset_stats ();
+        let l = M.make 0 in
+        ignore (M.get l);
+        M.set l 1;
+        Alcotest.(check bool) "counted" true ((M.stats ()).reads >= 1);
+        M.reset_stats ();
+        let s = M.stats () in
+        Alcotest.(check int) "reads zero" 0 s.reads;
+        Alcotest.(check int) "writes zero" 0 s.writes);
+    QCheck_alcotest.to_alcotest casn_matches_reference;
+  ]
+
+let () =
+  Alcotest.run "dcas"
+    [
+      ("figure-1-semantics", List.concat_map seq_tests models);
+      ("concurrent-atomicity", List.concat_map concurrent_tests concurrent_models);
+      ("casn", casn_tests);
+      ("substrate", misc_tests);
+    ]

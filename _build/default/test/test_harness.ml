@@ -1,0 +1,172 @@
+(* Tests for the measurement harness itself: RNG determinism and
+   distribution sanity, table rendering, histograms, workload mixes and
+   the runner's accounting.  The harness is load-bearing for every
+   benchmark number in EXPERIMENTS.md, so it gets its own checks. *)
+
+let test_splitmix_determinism () =
+  let a = Harness.Splitmix.create ~seed:123 in
+  let b = Harness.Splitmix.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64)
+      "same stream" (Harness.Splitmix.next_int64 a)
+      (Harness.Splitmix.next_int64 b)
+  done
+
+let test_splitmix_split_independent () =
+  let master = Harness.Splitmix.create ~seed:7 in
+  let s1 = Harness.Splitmix.split master in
+  let s2 = Harness.Splitmix.split master in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Harness.Splitmix.next_int64 s1 = Harness.Splitmix.next_int64 s2 then
+      incr same
+  done;
+  Alcotest.(check int) "split streams differ" 0 !same
+
+let test_splitmix_bounds () =
+  let rng = Harness.Splitmix.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = Harness.Splitmix.int rng ~bound:7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of range: %d" v
+  done;
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Splitmix.int: bound must be positive") (fun () ->
+      ignore (Harness.Splitmix.int rng ~bound:0))
+
+let test_splitmix_uniformish () =
+  let rng = Harness.Splitmix.create ~seed:11 in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let v = Harness.Splitmix.int rng ~bound:4 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expect = n / 4 in
+      if abs (c - expect) > expect / 5 then
+        Alcotest.failf "bucket %d skewed: %d vs %d" i c expect)
+    counts
+
+let test_table_render () =
+  let s =
+    Harness.Table.render
+      ~headers:[ "name"; "value" ]
+      [ [ "a"; "1" ]; [ "long-name"; "23" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "5 lines (incl. trailing empty)" 5 (List.length lines);
+  (* all non-empty lines are equally wide *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  (match widths with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
+  | [] -> Alcotest.fail "no output");
+  Alcotest.check_raises "ragged row rejected"
+    (Invalid_argument "Table.render: ragged row") (fun () ->
+      ignore (Harness.Table.render ~headers:[ "a" ] [ [ "1"; "2" ] ]))
+
+let test_table_formats () =
+  Alcotest.(check string) "ops M" "2.50M" (Harness.Table.ops_per_sec 2.5e6);
+  Alcotest.(check string) "ops k" "3.0k" (Harness.Table.ops_per_sec 3.0e3);
+  Alcotest.(check string) "ns" "750ns" (Harness.Table.ns 750.);
+  Alcotest.(check string) "us" "1.50us" (Harness.Table.ns 1500.);
+  Alcotest.(check string) "ratio" "2.00x" (Harness.Table.ratio 2.0)
+
+let test_histogram () =
+  let h = Harness.Metrics.Histogram.create () in
+  List.iter
+    (fun ns -> Harness.Metrics.Histogram.add h ~ns)
+    [ 100; 100; 100; 100; 100; 100; 100; 100; 100; 10_000 ];
+  let mean = Harness.Metrics.Histogram.mean_ns h in
+  Alcotest.(check bool) "mean near 1090" true (abs_float (mean -. 1090.) < 1.);
+  let p50 = Harness.Metrics.Histogram.quantile_ns h 0.5 in
+  Alcotest.(check bool) "p50 bucket covers 100ns" true (p50 <= 256.);
+  let p99 = Harness.Metrics.Histogram.quantile_ns h 0.99 in
+  Alcotest.(check bool) "p99 bucket covers 10us" true (p99 >= 8192.)
+
+let test_histogram_merge () =
+  let a = Harness.Metrics.Histogram.create () in
+  let b = Harness.Metrics.Histogram.create () in
+  Harness.Metrics.Histogram.add a ~ns:10;
+  Harness.Metrics.Histogram.add b ~ns:1000;
+  let m = Harness.Metrics.Histogram.merge a b in
+  Alcotest.(check bool) "count 2" true (Harness.Metrics.Histogram.mean_ns m = 505.)
+
+let test_workload_mix () =
+  let rng = Harness.Splitmix.create ~seed:3 in
+  let counts = Hashtbl.create 4 in
+  let bump k = Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)) in
+  for _ = 1 to 10_000 do
+    bump (Harness.Workload.draw Harness.Workload.push_heavy rng)
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  let pushes = get Harness.Workload.Push_right + get Harness.Workload.Push_left in
+  let pops = get Harness.Workload.Pop_right + get Harness.Workload.Pop_left in
+  Alcotest.(check bool)
+    (Printf.sprintf "push-heavy mix skews to pushes (%d vs %d)" pushes pops)
+    true
+    (pushes > 2 * pops)
+
+let test_workload_right_only () =
+  let rng = Harness.Splitmix.create ~seed:4 in
+  for _ = 1 to 1_000 do
+    match Harness.Workload.draw Harness.Workload.right_only rng with
+    | Harness.Workload.Push_right | Harness.Workload.Pop_right -> ()
+    | Harness.Workload.Push_left | Harness.Workload.Pop_left ->
+        Alcotest.fail "left operation drawn from right_only mix"
+  done
+
+let test_runner_counts () =
+  let r =
+    Harness.Runner.run ~threads:3 ~duration:0.05 (fun ~tid:_ ~rng:_ -> ())
+  in
+  Alcotest.(check int) "three buckets" 3 (Array.length r.Harness.Runner.per_thread);
+  Array.iter
+    (fun c -> Alcotest.(check bool) "every thread ran" true (c > 0))
+    r.Harness.Runner.per_thread;
+  Alcotest.(check bool) "throughput positive" true (Harness.Runner.throughput r > 0.)
+
+let test_runner_fixed () =
+  let hits = Array.make 3 0 in
+  let _elapsed =
+    Harness.Runner.run_fixed ~threads:3 ~iters:1000 (fun ~tid ~rng:_ ~i:_ ->
+        hits.(tid) <- hits.(tid) + 1)
+  in
+  Array.iter (fun c -> Alcotest.(check int) "exact iteration count" 1000 c) hits
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "determinism" `Quick test_splitmix_determinism;
+          Alcotest.test_case "split independence" `Quick
+            test_splitmix_split_independent;
+          Alcotest.test_case "bounds" `Quick test_splitmix_bounds;
+          Alcotest.test_case "uniformity" `Quick test_splitmix_uniformish;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "mix skew" `Quick test_workload_mix;
+          Alcotest.test_case "right-only" `Quick test_workload_right_only;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "timed run" `Quick test_runner_counts;
+          Alcotest.test_case "fixed run" `Quick test_runner_fixed;
+        ] );
+    ]

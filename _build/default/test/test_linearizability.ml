@@ -1,0 +1,270 @@
+(* Tests for the Wing&Gong linearizability checker itself (it is a
+   trust anchor for every other concurrent test, so it gets its own
+   adversarial suite), followed by experiment E13's history leg: real
+   multi-domain histories recorded against the lock-free deques are
+   linearizable. *)
+
+open Spec
+
+let entry thread op result inv ret : Linearizability.deque_entry =
+  { History.thread; op; result; inv; ret }
+
+let check ?capacity ?initial h =
+  match Linearizability.check_deque ?capacity ?initial (Array.of_list h) with
+  | Ok _ -> true
+  | Error () -> false
+
+(* --- Positive cases --- *)
+
+let test_empty_history () =
+  Alcotest.(check bool) "empty history" true (check [])
+
+let test_sequential_history () =
+  Alcotest.(check bool) "trivial sequence" true
+    (check
+       [
+         entry 0 (Op.Push_right 1) Op.Okay 0 1;
+         entry 0 (Op.Push_left 2) Op.Okay 2 3;
+         entry 0 Op.Pop_right (Op.Got 1) 4 5;
+         entry 0 Op.Pop_right (Op.Got 2) 6 7;
+         entry 0 Op.Pop_right Op.Empty 8 9;
+       ])
+
+(* Two overlapping pops of a single element: either may win; the
+   history where the "later" one wins is still linearizable. *)
+let test_overlap_reorder () =
+  Alcotest.(check bool) "overlapping ops reorderable" true
+    (check ~initial:[ 42 ]
+       [
+         entry 0 Op.Pop_right (Op.Got 42) 0 3;
+         entry 1 Op.Pop_left Op.Empty 1 2;
+       ])
+
+(* A pop overlapping a push may or may not see its value. *)
+let test_pop_sees_concurrent_push () =
+  Alcotest.(check bool) "pop sees overlapping push" true
+    (check
+       [
+         entry 0 (Op.Push_right 5) Op.Okay 0 3;
+         entry 1 Op.Pop_left (Op.Got 5) 1 2;
+       ]);
+  Alcotest.(check bool) "pop misses overlapping push" true
+    (check
+       [
+         entry 0 (Op.Push_right 5) Op.Okay 0 3;
+         entry 1 Op.Pop_left Op.Empty 1 2;
+       ])
+
+let test_capacity_full () =
+  Alcotest.(check bool) "full at capacity is legal" true
+    (check ~capacity:1 ~initial:[ 9 ]
+       [ entry 0 (Op.Push_right 1) Op.Full 0 1 ])
+
+(* --- Negative cases: the checker must reject these --- *)
+
+let test_value_from_nowhere () =
+  Alcotest.(check bool) "pop of never-pushed value" false
+    (check [ entry 0 Op.Pop_right (Op.Got 7) 0 1 ])
+
+let test_double_pop () =
+  Alcotest.(check bool) "one element popped twice" false
+    (check ~initial:[ 3 ]
+       [
+         entry 0 Op.Pop_right (Op.Got 3) 0 1;
+         entry 1 Op.Pop_left (Op.Got 3) 2 3;
+       ])
+
+let test_false_empty () =
+  (* a pop strictly after a completed push cannot be empty *)
+  Alcotest.(check bool) "false empty" false
+    (check
+       [
+         entry 0 (Op.Push_right 5) Op.Okay 0 1;
+         entry 1 Op.Pop_right Op.Empty 2 3;
+       ])
+
+let test_false_full () =
+  (* capacity 2, one element: full is impossible *)
+  Alcotest.(check bool) "false full" false
+    (check ~capacity:2 ~initial:[ 1 ]
+       [ entry 0 (Op.Push_right 5) Op.Full 0 1 ])
+
+let test_wrong_order () =
+  (* deque order: pushRight a then b, popLeft must return a first when
+     the pops don't overlap *)
+  Alcotest.(check bool) "fifo order violated" false
+    (check
+       [
+         entry 0 (Op.Push_right 1) Op.Okay 0 1;
+         entry 0 (Op.Push_right 2) Op.Okay 2 3;
+         entry 1 Op.Pop_left (Op.Got 2) 4 5;
+         entry 1 Op.Pop_left (Op.Got 1) 6 7;
+       ]);
+  Alcotest.(check bool) "lifo order respected" true
+    (check
+       [
+         entry 0 (Op.Push_right 1) Op.Okay 0 1;
+         entry 0 (Op.Push_right 2) Op.Okay 2 3;
+         entry 1 Op.Pop_right (Op.Got 2) 4 5;
+         entry 1 Op.Pop_right (Op.Got 1) 6 7;
+       ])
+
+let test_real_time_order_respected () =
+  (* the two pops do NOT overlap, so their real-time order binds: the
+     first to respond must get the right end's element *)
+  Alcotest.(check bool) "non-overlapping order binds" false
+    (check ~initial:[ 1; 2 ]
+       [
+         entry 0 Op.Pop_right (Op.Got 1) 0 1;
+         entry 1 Op.Pop_right (Op.Got 2) 2 3;
+       ]);
+  Alcotest.(check bool) "correct assignment accepted" true
+    (check ~initial:[ 1; 2 ]
+       [
+         entry 0 Op.Pop_right (Op.Got 2) 0 1;
+         entry 1 Op.Pop_right (Op.Got 1) 2 3;
+       ])
+
+(* A larger mechanically-built linearizable history to exercise the
+   memoized search: k concurrent pushers then k concurrent poppers. *)
+let test_wide_history () =
+  let k = 8 in
+  let pushes =
+    List.init k (fun i -> entry i (Op.Push_right i) Op.Okay 0 (i + 1))
+  in
+  (* all pops overlap each other, each getting a distinct value *)
+  let pops =
+    List.init k (fun i -> entry i Op.Pop_left (Op.Got i) 100 (200 + i))
+  in
+  Alcotest.(check bool) "wide concurrent history" true (check (pushes @ pops))
+
+(* qcheck: any valid sequential history remains linearizable after its
+   operation windows are widened to overlap arbitrarily (the sequential
+   witness still exists).  This is the checker's soundness half; the
+   rejection tests above pin the completeness half on known
+   counterexamples. *)
+let widened_sequential_accepted =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (2 -- 20)
+           (frequency
+              [
+                (3, map (fun v -> Op.Push_right v) (int_bound 9));
+                (3, map (fun v -> Op.Push_left v) (int_bound 9));
+                (2, return Op.Pop_right);
+                (2, return Op.Pop_left);
+              ]))
+        (list_size (return 20) (int_bound 5)))
+  in
+  QCheck2.Test.make ~name:"widened sequential histories accepted" ~count:200
+    ~print:(fun (ops, _) ->
+      ops
+      |> List.map (fun op ->
+             Format.asprintf "%a" (Op.pp_op Format.pp_print_int) op)
+      |> String.concat "; ")
+    gen
+    (fun (ops, widenings) ->
+      (* run the ops through the oracle to get true results *)
+      let d = ref (Seq_deque.make ~capacity:4 ()) in
+      let entries =
+        List.mapi
+          (fun i op ->
+            let d', res = Seq_deque.apply !d op in
+            d := d';
+            (* sequential placement: [4i, 4i+1]; widen the response by
+               the i-th widening factor so neighbors overlap *)
+            let widen =
+              match List.nth_opt widenings (i mod 20) with
+              | Some w -> w * 3
+              | None -> 0
+            in
+            {
+              History.thread = i mod 3;
+              op;
+              result = res;
+              inv = 4 * i;
+              ret = (4 * i) + 1 + widen;
+            })
+          ops
+      in
+      match
+        Linearizability.check_deque ~capacity:4 (Array.of_list entries)
+      with
+      | Ok _ -> true
+      | Error () -> false)
+
+(* --- E13: real concurrent histories --- *)
+
+let lin_rounds name impl threads =
+  Alcotest.test_case
+    (Printf.sprintf "%s: %d-thread histories linearizable" name threads)
+    `Slow
+    (fun () ->
+      Test_support.check_linearizable_rounds impl ~threads ~ops_per_thread:8
+        ~capacity:4 ~rounds:60)
+
+let array_impl =
+  let module A = Deque.Array_deque.Lockfree in
+  Test_support.of_module
+    (module struct
+      include A
+
+      let name = A.name
+    end)
+    ~bounded:true
+
+let list_impl =
+  let module L = Deque.List_deque.Lockfree in
+  Test_support.of_module
+    (module struct
+      include L
+
+      let name = L.name
+    end)
+    ~bounded:false
+
+let dummy_impl =
+  let module L = Deque.List_deque_dummy.Lockfree in
+  Test_support.of_module
+    (module struct
+      include L
+
+      let name = L.name
+    end)
+    ~bounded:false
+
+let () =
+  Alcotest.run "linearizability"
+    [
+      ( "checker: accepts",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_history;
+          Alcotest.test_case "sequential" `Quick test_sequential_history;
+          Alcotest.test_case "overlap reorder" `Quick test_overlap_reorder;
+          Alcotest.test_case "pop vs push overlap" `Quick
+            test_pop_sees_concurrent_push;
+          Alcotest.test_case "full at capacity" `Quick test_capacity_full;
+          Alcotest.test_case "wide history" `Quick test_wide_history;
+        ] );
+      ( "checker: rejects",
+        [
+          Alcotest.test_case "value from nowhere" `Quick test_value_from_nowhere;
+          Alcotest.test_case "double pop" `Quick test_double_pop;
+          Alcotest.test_case "false empty" `Quick test_false_empty;
+          Alcotest.test_case "false full" `Quick test_false_full;
+          Alcotest.test_case "order violations" `Quick test_wrong_order;
+          Alcotest.test_case "real-time order" `Quick
+            test_real_time_order_respected;
+        ] );
+      ( "soundness",
+        [ QCheck_alcotest.to_alcotest widened_sequential_accepted ] );
+      ( "E13: recorded histories",
+        [
+          lin_rounds "array" array_impl 3;
+          lin_rounds "array" array_impl 4;
+          lin_rounds "list" list_impl 3;
+          lin_rounds "list" list_impl 4;
+          lin_rounds "list-dummy" dummy_impl 3;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Experiment E14: lock-freedom (Theorems 3.1 and 4.1's non-blocking
+   half), tested two ways.
+
+   Model-checker leg: freeze one thread at EVERY one of its reachable
+   step counts and verify all other threads still complete.  This
+   covers the paper's subtle cases: a thread frozen between the logical
+   and physical phases of a pop leaves a deleted mark that others must
+   complete or work around (Section 4), and a thread frozen holding a
+   CASN descriptor in the lock-free memory model must be helped.
+
+   Real-domain leg: a worker sleeps mid-operation (between two of its
+   shared-memory accesses, via the stall-instrumented memory) while
+   others hammer the deque; with the DCAS deques the others make
+   progress, with the lock-based baseline an equivalent sleep holding
+   the lock stops everyone. *)
+
+open Spec.Op
+
+let assert_nonblocking name scenario ~victim =
+  match Modelcheck.Explorer.check_nonblocking scenario ~victim with
+  | Ok stall_points ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: survived all %d stall points" name stall_points)
+        true (stall_points > 0)
+  | Error j -> Alcotest.failf "%s: blocked at stall point %d" name j
+
+let test_array_nonblocking () =
+  let scenario =
+    Modelcheck.Scenario.array_deque ~name:"nb-array" ~length:3 ~prefill:[ 1 ]
+      [ [ Pop_right; Push_right 2 ]; [ Pop_left ]; [ Push_left 3 ] ]
+  in
+  assert_nonblocking "array, victim 0" scenario ~victim:0;
+  assert_nonblocking "array, victim 1" scenario ~victim:1
+
+let test_list_nonblocking () =
+  let scenario =
+    Modelcheck.Scenario.list_deque ~name:"nb-list" ~prefill:[ 1; 2 ]
+      [ [ Pop_right; Push_right 3 ]; [ Pop_left ]; [ Push_left 4 ] ]
+  in
+  assert_nonblocking "list, victim 0" scenario ~victim:0;
+  assert_nonblocking "list, victim 1" scenario ~victim:1
+
+let test_list_nonblocking_deletion_phase () =
+  (* victim frozen while completing Figure 16's physical deletions *)
+  let scenario =
+    Modelcheck.Scenario.list_deque ~name:"nb-del" ~prefill:[ 1; 2 ]
+      ~setup:[ Pop_right; Pop_left ]
+      [ [ Push_right 3 ]; [ Push_left 4 ]; [ Pop_right ] ]
+  in
+  assert_nonblocking "list deletion, victim 0" scenario ~victim:0;
+  assert_nonblocking "list deletion, victim 2" scenario ~victim:2
+
+let test_dummy_nonblocking () =
+  let scenario =
+    Modelcheck.Scenario.list_deque_dummy ~name:"nb-dummy" ~prefill:[ 1; 2 ]
+      ~setup:[ Pop_right; Pop_left ]
+      [ [ Push_right 3 ]; [ Push_left 4 ] ]
+  in
+  assert_nonblocking "dummy, victim 0" scenario ~victim:0;
+  assert_nonblocking "dummy, victim 1" scenario ~victim:1
+
+(* --- Real domains: stall injection --- *)
+
+(* The lock-free deque over the stall-instrumented memory: a victim
+   sleeping mid-operation must not prevent others from completing. *)
+module Stalling_mem = Harness.Stall.Mem_stalling (Dcas.Mem_lockfree)
+module Stalling_deque = Deque.Array_deque.Make (Stalling_mem)
+
+let test_real_stall_lockfree () =
+  let d = Stalling_deque.make ~length:64 () in
+  for i = 1 to 8 do
+    ignore (Stalling_deque.push_right d i)
+  done;
+  let others_done = Atomic.make 0 in
+  let victim () =
+    (* sleep in the middle of a push: after its 2nd shared access *)
+    Harness.Stall.request ~after_ops:2 ~duration:0.4;
+    ignore (Stalling_deque.push_right d 99)
+  in
+  let worker () =
+    for i = 1 to 3000 do
+      ignore (Stalling_deque.push_left d i);
+      ignore (Stalling_deque.pop_right d)
+    done;
+    Atomic.incr others_done
+  in
+  let t0 = Unix.gettimeofday () in
+  let v = Domain.spawn victim in
+  let w1 = Domain.spawn worker and w2 = Domain.spawn worker in
+  Domain.join w1;
+  Domain.join w2;
+  let workers_elapsed = Unix.gettimeofday () -. t0 in
+  Domain.join v;
+  Alcotest.(check int) "both workers completed" 2 (Atomic.get others_done);
+  (* the workers must not have waited for the victim's 400ms sleep on
+     every operation; generous bound to stay robust on a loaded box *)
+  Alcotest.(check bool)
+    (Printf.sprintf "workers unimpeded (%.2fs)" workers_elapsed)
+    true (workers_elapsed < 30.)
+
+(* The lock-based deque under the same sleep, held inside the critical
+   section: workers cannot complete until the victim wakes. *)
+let test_real_stall_lock () =
+  let d = Baselines.Lock_deque.create ~capacity:64 () in
+  ignore (Baselines.Lock_deque.push_right d 1);
+  let sleep = 0.3 in
+  let worker_latency = ref 0. in
+  let started = Atomic.make false in
+  let victim () =
+    Baselines.Lock_deque.with_lock_held d (fun () ->
+        Atomic.set started true;
+        Unix.sleepf sleep)
+  in
+  let worker () =
+    while not (Atomic.get started) do
+      Domain.cpu_relax ()
+    done;
+    let t0 = Unix.gettimeofday () in
+    ignore (Baselines.Lock_deque.pop_right d);
+    worker_latency := Unix.gettimeofday () -. t0
+  in
+  let v = Domain.spawn victim in
+  let w = Domain.spawn worker in
+  Domain.join v;
+  Domain.join w;
+  Alcotest.(check bool)
+    (Printf.sprintf "worker blocked ~%.0fms behind the lock holder"
+       (!worker_latency *. 1000.))
+    true
+    (!worker_latency >= sleep *. 0.5)
+
+let () =
+  Alcotest.run "lockfree"
+    [
+      ( "model checker stall points (E14)",
+        [
+          Alcotest.test_case "array deque" `Slow test_array_nonblocking;
+          Alcotest.test_case "list deque" `Slow test_list_nonblocking;
+          Alcotest.test_case "list deque deletions" `Slow
+            test_list_nonblocking_deletion_phase;
+          Alcotest.test_case "dummy variant" `Slow test_dummy_nonblocking;
+        ] );
+      ( "real-domain stalls (E9/E14)",
+        [
+          Alcotest.test_case "lock-free deque tolerates mid-op sleep" `Slow
+            test_real_stall_lockfree;
+          Alcotest.test_case "lock deque blocks behind sleeper" `Slow
+            test_real_stall_lock;
+        ] );
+    ]

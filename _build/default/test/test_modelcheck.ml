@@ -1,0 +1,314 @@
+(* Exhaustive bounded model checking of the paper's algorithms — the
+   executable face of Section 5's theorems (experiments E2, E3, E13).
+
+   Every scenario here is explored over ALL interleavings (up to the
+   stated bound): after every shared-memory step the representation
+   invariant must hold, and every complete history must be
+   linearizable.  The scenarios are the paper's own figures: the
+   contending pops of Figures 5-6, the empty-state family of Figure 9,
+   and the contending physical deletions of Figure 16. *)
+
+open Spec.Op
+
+let assert_ok name outcome =
+  match outcome.Modelcheck.Explorer.error with
+  | None ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s explored exhaustively" name)
+        true outcome.Modelcheck.Explorer.exhaustive
+  | Some f ->
+      Alcotest.failf "%s: %s@.schedule: %s@.%s" name
+        f.Modelcheck.Explorer.reason
+        (String.concat " " (List.map string_of_int f.Modelcheck.Explorer.schedule))
+        f.Modelcheck.Explorer.pretty_history
+
+let explore = Modelcheck.Explorer.explore
+
+(* --- E2: the array deque's contended boundaries --- *)
+
+let test_fig6_pop_vs_pop () =
+  (* both pops race for the single element: exactly one wins *)
+  assert_ok "array pop/pop on 1 element"
+    (explore
+       (Modelcheck.Scenario.array_deque ~name:"fig6" ~length:4 ~prefill:[ 42 ]
+          [ [ Pop_right ]; [ Pop_left ] ]))
+
+let test_fig6_no_hints () =
+  assert_ok "array pop/pop, hints disabled"
+    (explore
+       (Modelcheck.Scenario.array_deque ~hints:false ~name:"fig6-nh" ~length:4
+          ~prefill:[ 42 ]
+          [ [ Pop_right ]; [ Pop_left ] ]))
+
+let test_push_vs_push_last_slot () =
+  (* both pushes race for the last free slot of a full-1 deque *)
+  assert_ok "array push/push on last slot"
+    (explore
+       (Modelcheck.Scenario.array_deque ~name:"last-slot" ~length:3
+          ~prefill:[ 1; 2 ]
+          [ [ Push_right 8 ]; [ Push_left 9 ] ]))
+
+let test_push_vs_pop_empty_boundary () =
+  assert_ok "array push vs pop near empty"
+    (explore
+       (Modelcheck.Scenario.array_deque ~name:"push-pop" ~length:3
+          ~prefill:[ 5 ]
+          [ [ Pop_left; Pop_right ]; [ Push_right 6 ] ]))
+
+let test_three_threads_array () =
+  assert_ok "array 3 threads"
+    (explore
+       (Modelcheck.Scenario.array_deque ~name:"3t" ~length:3 ~prefill:[ 1 ]
+          [ [ Pop_right ]; [ Pop_left ]; [ Push_right 9 ] ]))
+
+let test_wrap_boundary () =
+  (* index wraparound under contention: prefill rotated to the array's
+     physical edge via setup pops/pushes *)
+  assert_ok "array contention across the wrap point"
+    (explore
+       (Modelcheck.Scenario.array_deque ~name:"wrap" ~length:3
+          ~prefill:[ 1; 2; 3 ]
+          ~setup:[ Pop_left; Pop_left; Push_right 4 ]
+          [ [ Pop_right ]; [ Pop_left ]; [ Push_left 5 ] ]))
+
+(* --- E3: the list deque's empty-state family and deletions --- *)
+
+let test_fig6_list () =
+  assert_ok "list pop/pop on 1 element"
+    (explore
+       (Modelcheck.Scenario.list_deque ~name:"fig6l" ~prefill:[ 42 ]
+          [ [ Pop_right ]; [ Pop_left ] ]))
+
+let test_fig9_right_deleted () =
+  (* one pending right deletion; pop and push contend over completing
+     it *)
+  assert_ok "list ops over a right-deleted cell"
+    (explore
+       (Modelcheck.Scenario.list_deque ~name:"fig9r" ~prefill:[ 1 ]
+          ~setup:[ Pop_right ]
+          [ [ Push_right 2 ]; [ Pop_right ] ]))
+
+let test_fig9_left_deleted () =
+  assert_ok "list ops over a left-deleted cell"
+    (explore
+       (Modelcheck.Scenario.list_deque ~name:"fig9l" ~prefill:[ 1 ]
+          ~setup:[ Pop_left ]
+          [ [ Push_left 2 ]; [ Pop_left ] ]))
+
+let test_fig16_contending_deletes () =
+  (* both ends logically deleted; the two pushes must complete the
+     contending physical deletions of Figure 16 *)
+  assert_ok "figure 16: contending deletes"
+    (explore
+       (Modelcheck.Scenario.list_deque ~name:"fig16" ~prefill:[ 1; 2 ]
+          ~setup:[ Pop_right; Pop_left ]
+          [ [ Push_right 3 ]; [ Push_left 4 ] ]))
+
+let test_fig16_deletes_vs_pops () =
+  assert_ok "figure 16: deletes raced by pops"
+    (explore
+       (Modelcheck.Scenario.list_deque ~name:"fig16p" ~prefill:[ 1; 2 ]
+          ~setup:[ Pop_right; Pop_left ]
+          [ [ Pop_right ]; [ Pop_left ] ]))
+
+let test_list_push_push_empty () =
+  assert_ok "list push/push on empty"
+    (explore
+       (Modelcheck.Scenario.list_deque ~name:"pp" ~prefill:[]
+          [ [ Push_right 1 ]; [ Push_left 2 ] ]))
+
+let test_list_pop_pop_two () =
+  assert_ok "list pop/pop on 2 elements"
+    (explore
+       (Modelcheck.Scenario.list_deque ~name:"pp2" ~prefill:[ 1; 2 ]
+          [ [ Pop_right ]; [ Pop_left ] ]))
+
+(* --- E11: the dummy-node variant passes the same checks --- *)
+
+let test_dummy_fig6 () =
+  assert_ok "dummy pop/pop on 1 element"
+    (explore
+       (Modelcheck.Scenario.list_deque_dummy ~name:"dfig6" ~prefill:[ 42 ]
+          [ [ Pop_right ]; [ Pop_left ] ]))
+
+let test_dummy_fig16 () =
+  assert_ok "dummy figure 16"
+    (explore
+       (Modelcheck.Scenario.list_deque_dummy ~name:"dfig16" ~prefill:[ 1; 2 ]
+          ~setup:[ Pop_right; Pop_left ]
+          [ [ Push_right 3 ]; [ Push_left 4 ] ]))
+
+(* --- Greenwald v1 is correct (its flaw is concurrency loss, not
+   incorrectness) --- *)
+
+let test_greenwald_v1_fig6 () =
+  assert_ok "greenwald v1 pop/pop"
+    (explore
+       (Modelcheck.Scenario.greenwald_v1 ~name:"g1" ~length:4 ~prefill:[ 42 ]
+          [ [ Pop_right ]; [ Pop_left ] ]))
+
+(* --- Randomized sampling for configurations too big to enumerate --- *)
+
+let test_sampled_array () =
+  let s =
+    Modelcheck.Scenario.array_deque ~name:"sampled-array" ~length:3
+      ~prefill:[ 1 ]
+      [
+        [ Push_right 2; Pop_left; Pop_right ];
+        [ Pop_right; Push_left 3 ];
+        [ Push_left 4; Pop_left ];
+      ]
+  in
+  match
+    (Modelcheck.Explorer.sample ~schedules:3_000 ~seed:42 s)
+      .Modelcheck.Explorer.error
+  with
+  | None -> ()
+  | Some f -> Alcotest.failf "sampled array: %s" f.Modelcheck.Explorer.reason
+
+let test_sampled_list () =
+  let s =
+    Modelcheck.Scenario.list_deque ~name:"sampled-list" ~prefill:[ 1; 2 ]
+      [
+        [ Pop_right; Push_right 3; Pop_right ];
+        [ Pop_left; Push_left 4 ];
+        [ Pop_right; Pop_left ];
+      ]
+  in
+  match
+    (Modelcheck.Explorer.sample ~schedules:2_000 ~seed:43 s)
+      .Modelcheck.Explorer.error
+  with
+  | None -> ()
+  | Some f -> Alcotest.failf "sampled list: %s" f.Modelcheck.Explorer.reason
+
+(* --- Scenario fuzzing: randomly generated small scenarios, random
+   schedules, across every algorithm --- *)
+
+let ops_arb =
+  let open QCheck2.Gen in
+  let op =
+    frequency
+      [
+        (2, map (fun v -> Push_right v) (int_bound 3));
+        (2, map (fun v -> Push_left v) (int_bound 3));
+        (3, return Pop_right);
+        (3, return Pop_left);
+      ]
+  in
+  let thread = list_size (1 -- 2) op in
+  pair (list_size (0 -- 3) (int_bound 3)) (list_size (2 -- 3) thread)
+
+let print_fuzz (prefill, threads) =
+  Printf.sprintf "prefill=[%s] threads=[%s]"
+    (String.concat ";" (List.map string_of_int prefill))
+    (String.concat " | "
+       (List.map
+          (fun ops ->
+            String.concat ","
+              (List.map
+                 (fun op ->
+                   Format.asprintf "%a" (Spec.Op.pp_op Format.pp_print_int) op)
+                 ops))
+          threads))
+
+let fuzz_test name mk =
+  QCheck2.Test.make ~name ~count:30 ~print:print_fuzz ops_arb
+    (fun (prefill, threads) ->
+      let scenario = mk ~prefill threads in
+      let outcome =
+        Modelcheck.Explorer.sample ~schedules:120 ~seed:7 scenario
+      in
+      match outcome.Modelcheck.Explorer.error with
+      | None -> true
+      | Some f -> QCheck2.Test.fail_report f.Modelcheck.Explorer.reason)
+
+let fuzz_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (fuzz_test "fuzz: array scenarios" (fun ~prefill threads ->
+           Modelcheck.Scenario.array_deque ~name:"fz-a" ~length:3 ~prefill
+             threads));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test "fuzz: list scenarios" (fun ~prefill threads ->
+           Modelcheck.Scenario.list_deque ~name:"fz-l" ~prefill threads));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test "fuzz: list scenarios (recycle)" (fun ~prefill threads ->
+           Modelcheck.Scenario.list_deque ~recycle:true ~name:"fz-r" ~prefill
+             threads));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test "fuzz: dummy scenarios" (fun ~prefill threads ->
+           Modelcheck.Scenario.list_deque_dummy ~name:"fz-d" ~prefill threads));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test "fuzz: 3cas scenarios" (fun ~prefill threads ->
+           Modelcheck.Scenario.list_deque_casn ~name:"fz-c" ~prefill threads));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test "fuzz: greenwald v1 scenarios" (fun ~prefill threads ->
+           Modelcheck.Scenario.greenwald_v1 ~name:"fz-g" ~length:5 ~prefill
+             threads));
+  ]
+
+(* The explorer is deterministic: replaying the same decision function
+   over the same scenario yields byte-identical histories.  (This is
+   what makes stateless DFS enumeration sound.) *)
+let test_replay_deterministic () =
+  let scenario =
+    Modelcheck.Scenario.list_deque ~name:"det" ~prefill:[ 1; 2 ]
+      [ [ Pop_right; Push_right 3 ]; [ Pop_left ] ]
+  in
+  let decide depth enabled = (depth * 7) mod List.length enabled in
+  let show (r : Modelcheck.Explorer.run_report) =
+    Modelcheck.Explorer.pretty_history r.Modelcheck.Explorer.history
+  in
+  let a = Modelcheck.Explorer.run_schedule scenario ~decide in
+  let b = Modelcheck.Explorer.run_schedule scenario ~decide in
+  Alcotest.(check string) "identical histories" (show a) (show b);
+  Alcotest.(check int) "identical step counts" a.Modelcheck.Explorer.steps
+    b.Modelcheck.Explorer.steps
+
+let () =
+  Alcotest.run "modelcheck"
+    [
+      ( "array (E2)",
+        [
+          Alcotest.test_case "figure 6 pop vs pop" `Slow test_fig6_pop_vs_pop;
+          Alcotest.test_case "figure 6 without hints" `Slow test_fig6_no_hints;
+          Alcotest.test_case "push vs push last slot" `Slow
+            test_push_vs_push_last_slot;
+          Alcotest.test_case "push vs pops near empty" `Slow
+            test_push_vs_pop_empty_boundary;
+          Alcotest.test_case "three threads" `Slow test_three_threads_array;
+          Alcotest.test_case "wraparound contention" `Slow test_wrap_boundary;
+        ] );
+      ( "list (E3)",
+        [
+          Alcotest.test_case "figure 6 on list" `Slow test_fig6_list;
+          Alcotest.test_case "figure 9 right-deleted" `Slow
+            test_fig9_right_deleted;
+          Alcotest.test_case "figure 9 left-deleted" `Slow test_fig9_left_deleted;
+          Alcotest.test_case "figure 16 contending deletes" `Slow
+            test_fig16_contending_deletes;
+          Alcotest.test_case "figure 16 raced by pops" `Slow
+            test_fig16_deletes_vs_pops;
+          Alcotest.test_case "push/push empty" `Slow test_list_push_push_empty;
+          Alcotest.test_case "pop/pop two elements" `Slow test_list_pop_pop_two;
+        ] );
+      ( "dummy variant (E11)",
+        [
+          Alcotest.test_case "figure 6" `Slow test_dummy_fig6;
+          Alcotest.test_case "figure 16" `Slow test_dummy_fig16;
+        ] );
+      ( "baselines",
+        [ Alcotest.test_case "greenwald v1 pop/pop" `Slow test_greenwald_v1_fig6 ] );
+      ( "sampled (E13)",
+        [
+          Alcotest.test_case "array 3x3 sampled" `Slow test_sampled_array;
+          Alcotest.test_case "list 3x2 sampled" `Slow test_sampled_list;
+        ] );
+      ("scenario fuzzing", fuzz_tests);
+      ( "determinism",
+        [
+          Alcotest.test_case "replay is deterministic" `Quick
+            test_replay_deterministic;
+        ] );
+    ]

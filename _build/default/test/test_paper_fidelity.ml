@@ -1,0 +1,193 @@
+(* Fidelity tests: checks pinned to specific sentences of the paper —
+   the conventions its pseudocode relies on, the corrected errata in
+   the left-hand-side listings, and the optionality claims about the
+   strong DCAS form.  If a refactor silently diverges from the paper,
+   these are the tests meant to fail first. *)
+
+(* "We assume that mod is the modulus operation over the integers
+   (-1 mod 6 = 5, -2 mod 6 = 4, and so on)." — Section 3.  OCaml's
+   [mod] does not satisfy this; the deques use a Euclidean modulus.
+   Check the convention through observable wraparound behaviour. *)
+let test_mod_convention () =
+  let module A = Deque.Array_deque.Sequential in
+  let d = A.make ~length:6 () in
+  (* first pushLeft writes at L=0 and moves L to (0-1) mod 6 = 5; a
+     second pushLeft must land at index 5, i.e. directly "left" of 0
+     in circular order *)
+  ignore (A.push_left d 1);
+  ignore (A.push_left d 2);
+  Alcotest.(check (list int)) "wrap to 5" [ 2; 1 ] (A.unsafe_to_list d);
+  Alcotest.(check bool) "pop from left" true (A.pop_left d = `Value 2)
+
+(* "Initially L == 0, (L + 1) mod length_S = R": an empty deque's very
+   first rightward push and leftward push land adjacently. *)
+let test_initial_indices () =
+  let module A = Deque.Array_deque.Sequential in
+  let d = A.make ~length:4 () in
+  ignore (A.push_right d 10);
+  ignore (A.push_left d 20);
+  Alcotest.(check (list int)) "adjacent" [ 20; 10 ] (A.unsafe_to_list d)
+
+(* The bounded deque's capacity is exactly length_S ("reached a full
+   state if its cardinality is length_S"). *)
+let test_capacity_exact () =
+  let module A = Deque.Array_deque.Sequential in
+  List.iter
+    (fun n ->
+      let d = A.make ~length:n () in
+      for v = 1 to n do
+        Alcotest.(check bool)
+          (Printf.sprintf "push %d/%d" v n)
+          true
+          (A.push_right d v = `Okay)
+      done;
+      Alcotest.(check bool) "n+1 is full" true (A.push_right d 0 = `Full))
+    [ 1; 2; 3; 5; 8 ]
+
+(* Figure 9, third diagram: "the right sentinel points to a node
+   deleted by a popLeft operation" — a popRight that observes the null
+   value concludes empty without completing the left side's deletion. *)
+let test_pop_right_sees_left_deleted () =
+  let module L = Deque.List_deque.Sequential in
+  let d = L.make () in
+  ignore (L.push_right d 1);
+  Alcotest.(check bool) "popLeft takes it" true (L.pop_left d = `Value 1);
+  (* the node is logically deleted; SL->R carries the mark *)
+  Alcotest.(check bool) "popRight reports empty" true (L.pop_right d = `Empty);
+  (match L.check_invariant d with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariant: %s" e);
+  Alcotest.(check bool) "pushRight still fine" true (L.push_right d 2 = `Okay);
+  Alcotest.(check bool) "value retrievable" true (L.pop_left d = `Value 2)
+
+(* Erratum, Figure 32 line 4: popLeft must read the value through the
+   pointer it just loaded from SL->R (the published text reads through
+   an unbound oldL).  With the typo "fixed wrong" the very first
+   popLeft would crash or return garbage. *)
+let test_erratum_fig32 () =
+  let module L = Deque.List_deque.Sequential in
+  let d = L.make () in
+  ignore (L.push_left d 77);
+  Alcotest.(check bool) "popLeft returns the pushed value" true
+    (L.pop_left d = `Value 77)
+
+(* Erratum, Figure 33 line 10: a left-pushed node's L pointer must
+   reference SL (the published text writes SR).  If it pointed at SR,
+   the next popLeft's deleteLeft would splice across the wrong
+   sentinel; observable as order corruption below. *)
+let test_erratum_fig33 () =
+  let module L = Deque.List_deque.Sequential in
+  let d = L.make () in
+  ignore (L.push_left d 1);
+  ignore (L.push_left d 2);
+  ignore (L.push_left d 3);
+  Alcotest.(check (list int)) "left pushes stack up" [ 3; 2; 1 ]
+    (L.unsafe_to_list d);
+  Alcotest.(check bool) "pop l" true (L.pop_left d = `Value 3);
+  Alcotest.(check bool) "pop l" true (L.pop_left d = `Value 2);
+  Alcotest.(check bool) "pop r" true (L.pop_right d = `Value 1);
+  Alcotest.(check bool) "empty" true (L.pop_right d = `Empty)
+
+(* "foregoing this optimization yields algorithms that can be
+   implemented using only the weaker first form" — with hints disabled
+   the array deque must never invoke the strong DCAS.  Checked with a
+   counting memory wrapper. *)
+module Counting_mem : sig
+  include Dcas.Memory_intf.MEMORY
+
+  val strong_calls : int ref
+end = struct
+  include Dcas.Mem_seq
+
+  let strong_calls = ref 0
+
+  let dcas_strong l1 l2 o1 o2 n1 n2 =
+    incr strong_calls;
+    Dcas.Mem_seq.dcas_strong l1 l2 o1 o2 n1 n2
+end
+
+module Counting_deque = Deque.Array_deque.Make (Counting_mem)
+
+let exercise_counting hints =
+  Counting_mem.strong_calls := 0;
+  let d = Counting_deque.make ~hints ~length:4 () in
+  for i = 1 to 4 do
+    ignore (Counting_deque.push_right d i)
+  done;
+  ignore (Counting_deque.push_right d 9);
+  (* full *)
+  for _ = 1 to 4 do
+    ignore (Counting_deque.pop_left d)
+  done;
+  ignore (Counting_deque.pop_left d);
+  (* empty *)
+  ignore (Counting_deque.push_left d 1);
+  ignore (Counting_deque.pop_right d);
+  !Counting_mem.strong_calls
+
+let test_weak_dcas_sufficient () =
+  Alcotest.(check int) "no strong DCAS without hints" 0 (exercise_counting false);
+  Alcotest.(check bool) "hints do use the strong form" true
+    (exercise_counting true > 0)
+
+(* "The cost of this splitting technique is an extra DCAS per pop
+   operation" — Section 1.2.  Count DCAS attempts per uncontended pop:
+   the list deque's pop+completion takes two DCASes where the array
+   deque takes one. *)
+let test_split_pop_extra_dcas () =
+  let dcas_per_pop ~pop ~push ~prefill_push ~deletes =
+    Dcas.Mem_seq.reset_stats ();
+    prefill_push ();
+    let before = (Dcas.Mem_seq.stats ()).Dcas.Memory_intf.dcas_attempts in
+    pop ();
+    deletes ();
+    let after = (Dcas.Mem_seq.stats ()).Dcas.Memory_intf.dcas_attempts in
+    ignore push;
+    after - before
+  in
+  let module A = Deque.Array_deque.Sequential in
+  let a = A.make ~length:4 () in
+  let array_cost =
+    dcas_per_pop
+      ~prefill_push:(fun () -> ignore (A.push_right a 1))
+      ~pop:(fun () -> ignore (A.pop_right a))
+      ~push:() ~deletes:ignore
+  in
+  let module L = Deque.List_deque.Sequential in
+  let l = L.make () in
+  let list_cost =
+    dcas_per_pop
+      ~prefill_push:(fun () -> ignore (L.push_right l 1))
+      ~pop:(fun () -> ignore (L.pop_right l))
+      ~push:() ~deletes:(fun () -> L.delete_right l)
+  in
+  Alcotest.(check int) "array pop: one DCAS" 1 array_cost;
+  Alcotest.(check int) "list pop: two DCASes (split)" 2 list_cost
+
+let () =
+  Alcotest.run "paper_fidelity"
+    [
+      ( "conventions",
+        [
+          Alcotest.test_case "integer mod" `Quick test_mod_convention;
+          Alcotest.test_case "initial indices" `Quick test_initial_indices;
+          Alcotest.test_case "capacity = length_S" `Quick test_capacity_exact;
+        ] );
+      ( "figure 9 subtleties",
+        [
+          Alcotest.test_case "popRight sees left-deleted node" `Quick
+            test_pop_right_sees_left_deleted;
+        ] );
+      ( "errata",
+        [
+          Alcotest.test_case "figure 32 line 4" `Quick test_erratum_fig32;
+          Alcotest.test_case "figure 33 line 10" `Quick test_erratum_fig33;
+        ] );
+      ( "dcas forms",
+        [
+          Alcotest.test_case "weak form suffices without hints" `Quick
+            test_weak_dcas_sufficient;
+          Alcotest.test_case "split pop costs an extra DCAS" `Quick
+            test_split_pop_extra_dcas;
+        ] );
+    ]

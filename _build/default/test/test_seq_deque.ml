@@ -1,0 +1,155 @@
+(* Tests for the sequential oracle (Spec.Seq_deque): the explicit
+   transitions of Section 2.2, boundary behaviour for bounded deques,
+   and a qcheck equivalence against a naive single-list reference
+   implementation. *)
+
+open Spec
+
+let got = function Op.Got v -> v | _ -> Alcotest.fail "expected a value"
+
+(* The worked example from Section 2.2 of the paper. *)
+let test_paper_example () =
+  let d = Seq_deque.make () in
+  let d, r = Seq_deque.push_right d 1 in
+  Alcotest.(check bool) "pushRight(1) okay" true (r = Op.Okay);
+  Alcotest.(check (list int)) "S=<1>" [ 1 ] (Seq_deque.to_list d);
+  let d, _ = Seq_deque.push_left d 2 in
+  Alcotest.(check (list int)) "S=<2,1>" [ 2; 1 ] (Seq_deque.to_list d);
+  let d, _ = Seq_deque.push_right d 3 in
+  Alcotest.(check (list int)) "S=<2,1,3>" [ 2; 1; 3 ] (Seq_deque.to_list d);
+  let d, r = Seq_deque.pop_left d in
+  Alcotest.(check int) "popLeft returns 2" 2 (got r);
+  Alcotest.(check (list int)) "S=<1,3>" [ 1; 3 ] (Seq_deque.to_list d);
+  let d, r = Seq_deque.pop_left d in
+  Alcotest.(check int) "popLeft returns 1" 1 (got r);
+  Alcotest.(check (list int)) "S=<3>" [ 3 ] (Seq_deque.to_list d)
+
+let test_empty_pops () =
+  let d = Seq_deque.make () in
+  let d1, r = Seq_deque.pop_right d in
+  Alcotest.(check bool) "popRight empty" true (r = Op.Empty);
+  Alcotest.(check bool) "state unchanged" true (Seq_deque.is_empty d1);
+  let d2, r = Seq_deque.pop_left d in
+  Alcotest.(check bool) "popLeft empty" true (r = Op.Empty);
+  Alcotest.(check bool) "state unchanged" true (Seq_deque.is_empty d2)
+
+let test_full_pushes () =
+  let d = Seq_deque.make ~capacity:2 () in
+  let d, r1 = Seq_deque.push_right d 1 in
+  let d, r2 = Seq_deque.push_left d 2 in
+  Alcotest.(check bool) "both okay" true (r1 = Op.Okay && r2 = Op.Okay);
+  Alcotest.(check bool) "is_full" true (Seq_deque.is_full d);
+  let d1, r = Seq_deque.push_right d 3 in
+  Alcotest.(check bool) "pushRight full" true (r = Op.Full);
+  Alcotest.(check (list int)) "unchanged" [ 2; 1 ] (Seq_deque.to_list d1);
+  let d2, r = Seq_deque.push_left d 3 in
+  Alcotest.(check bool) "pushLeft full" true (r = Op.Full);
+  Alcotest.(check (list int)) "unchanged" [ 2; 1 ] (Seq_deque.to_list d2)
+
+let test_capacity_validation () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument
+    "Seq_deque.make: capacity must be >= 1") (fun () ->
+      ignore (Seq_deque.make ~capacity:0 ()));
+  Alcotest.check_raises "of_list overflow"
+    (Invalid_argument "Seq_deque.of_list: more elements than capacity")
+    (fun () -> ignore (Seq_deque.of_list ~capacity:1 [ 1; 2 ]))
+
+let test_peek () =
+  let d = Seq_deque.of_list [ 5; 6; 7 ] in
+  Alcotest.(check (option int)) "peek_left" (Some 5) (Seq_deque.peek_left d);
+  Alcotest.(check (option int)) "peek_right" (Some 7) (Seq_deque.peek_right d);
+  let e = Seq_deque.make () in
+  Alcotest.(check (option int)) "peek empty" None (Seq_deque.peek_left e);
+  Alcotest.(check (option int)) "peek empty" None (Seq_deque.peek_right e)
+
+(* Naive reference: the deque as a bare list. *)
+module Ref_deque = struct
+  type t = int list * int option (* contents, capacity *)
+
+  let make capacity : t = ([], capacity)
+
+  let apply ((xs, cap) : t) (op : int Op.op) : t * int Op.res =
+    let full = match cap with None -> false | Some c -> List.length xs >= c in
+    match op with
+    | Op.Push_right v ->
+        if full then ((xs, cap), Op.Full) else ((xs @ [ v ], cap), Op.Okay)
+    | Op.Push_left v ->
+        if full then ((xs, cap), Op.Full) else ((v :: xs, cap), Op.Okay)
+    | Op.Pop_left -> (
+        match xs with
+        | [] -> ((xs, cap), Op.Empty)
+        | v :: rest -> ((rest, cap), Op.Got v))
+    | Op.Pop_right -> (
+        match List.rev xs with
+        | [] -> ((xs, cap), Op.Empty)
+        | v :: rest -> ((List.rev rest, cap), Op.Got v))
+end
+
+let op_gen =
+  let open QCheck2.Gen in
+  frequency
+    [
+      (3, map (fun v -> Op.Push_right v) (int_bound 99));
+      (3, map (fun v -> Op.Push_left v) (int_bound 99));
+      (2, return Op.Pop_right);
+      (2, return Op.Pop_left);
+    ]
+
+let print_ops ops =
+  ops
+  |> List.map (fun op -> Format.asprintf "%a" (Op.pp_op Format.pp_print_int) op)
+  |> String.concat "; "
+
+let ops_gen = QCheck2.Gen.(list_size (0 -- 200) op_gen)
+
+let equiv_unbounded =
+  QCheck2.Test.make ~name:"oracle = naive list deque (unbounded)" ~count:300
+    ~print:print_ops ops_gen (fun ops ->
+      let rec go d r = function
+        | [] -> Seq_deque.to_list d = fst r
+        | op :: rest ->
+            let d', res_d = Seq_deque.apply d op in
+            let r', res_r = Ref_deque.apply r op in
+            res_d = res_r && go d' r' rest
+      in
+      go (Seq_deque.make ()) (Ref_deque.make None) ops)
+
+let equiv_bounded =
+  QCheck2.Test.make ~name:"oracle = naive list deque (capacity 5)" ~count:300
+    ~print:print_ops ops_gen (fun ops ->
+      let rec go d r = function
+        | [] -> Seq_deque.to_list d = fst r
+        | op :: rest ->
+            let d', res_d = Seq_deque.apply d op in
+            let r', res_r = Ref_deque.apply r op in
+            res_d = res_r && go d' r' rest
+      in
+      go (Seq_deque.make ~capacity:5 ()) (Ref_deque.make (Some 5)) ops)
+
+let length_invariant =
+  QCheck2.Test.make ~name:"length = |to_list|" ~count:300 ~print:print_ops
+    ops_gen (fun ops ->
+      let d =
+        List.fold_left (fun d op -> fst (Seq_deque.apply d op))
+          (Seq_deque.make ()) ops
+      in
+      Seq_deque.length d = List.length (Seq_deque.to_list d))
+
+let () =
+  Alcotest.run "seq_deque"
+    [
+      ( "transitions",
+        [
+          Alcotest.test_case "paper worked example" `Quick test_paper_example;
+          Alcotest.test_case "empty pops" `Quick test_empty_pops;
+          Alcotest.test_case "full pushes" `Quick test_full_pushes;
+          Alcotest.test_case "capacity validation" `Quick test_capacity_validation;
+          Alcotest.test_case "peek" `Quick test_peek;
+        ] );
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest equiv_unbounded;
+          QCheck_alcotest.to_alcotest equiv_bounded;
+          QCheck_alcotest.to_alcotest length_invariant;
+        ] );
+    ]

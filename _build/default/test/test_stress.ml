@@ -1,0 +1,133 @@
+(* Multi-domain stress with conservation checking for every
+   implementation: unique values in, the popped sets and the remainder
+   must exactly partition the pushed set (no loss, no duplication, no
+   invention), and the representation invariants must hold at
+   quiescence. *)
+
+let array_impl (module A : Deque.Array_deque.ALGORITHM) : Test_support.impl =
+  {
+    impl_name = A.name;
+    bounded = true;
+    fresh =
+      (fun ~capacity ->
+        let d = A.make ~length:capacity () in
+        Test_support.handle_of_ops
+          ~push_right:(fun v -> A.push_right d v)
+          ~push_left:(fun v -> A.push_left d v)
+          ~pop_right:(fun () -> A.pop_right d)
+          ~pop_left:(fun () -> A.pop_left d)
+          ~to_list:(Some (fun () -> A.unsafe_to_list d))
+          ~invariant:(Some (fun () -> A.check_invariant d)));
+  }
+
+let list_impl (module L : Deque.List_deque.ALGORITHM) : Test_support.impl =
+  {
+    impl_name = L.name;
+    bounded = false;
+    fresh =
+      (fun ~capacity:_ ->
+        let d = L.make () in
+        Test_support.handle_of_ops
+          ~push_right:(fun v -> L.push_right d v)
+          ~push_left:(fun v -> L.push_left d v)
+          ~pop_right:(fun () -> L.pop_right d)
+          ~pop_left:(fun () -> L.pop_left d)
+          ~to_list:(Some (fun () -> L.unsafe_to_list d))
+          ~invariant:(Some (fun () -> L.check_invariant d)));
+  }
+
+let dummy_impl (module L : Deque.List_deque_dummy.ALGORITHM) : Test_support.impl
+    =
+  {
+    impl_name = L.name;
+    bounded = false;
+    fresh =
+      (fun ~capacity:_ ->
+        let d = L.make () in
+        Test_support.handle_of_ops
+          ~push_right:(fun v -> L.push_right d v)
+          ~push_left:(fun v -> L.push_left d v)
+          ~pop_right:(fun () -> L.pop_right d)
+          ~pop_left:(fun () -> L.pop_left d)
+          ~to_list:(Some (fun () -> L.unsafe_to_list d))
+          ~invariant:(Some (fun () -> L.check_invariant d)));
+  }
+
+let impls : Test_support.impl list =
+  [
+    array_impl (module Deque.Array_deque.Lockfree);
+    array_impl (module Deque.Array_deque.Locked);
+    array_impl (module Deque.Array_deque.Striped);
+    list_impl (module Deque.List_deque.Lockfree);
+    list_impl (module Deque.List_deque.Locked);
+    list_impl (module Deque.List_deque.Striped);
+    dummy_impl (module Deque.List_deque_dummy.Lockfree);
+    Test_support.of_module (module Baselines.Lock_deque) ~bounded:true;
+    Test_support.of_module (module Baselines.Spin_deque) ~bounded:true;
+  ]
+
+let stress_case threads iters capacity (impl : Test_support.impl) =
+  Alcotest.test_case
+    (Printf.sprintf "%s: %d threads x %d ops (cap %d)" impl.impl_name threads
+       iters capacity)
+    `Slow
+    (fun () ->
+      Test_support.stress_conservation impl ~threads ~iters ~capacity ())
+
+(* A tight-capacity run maximizes boundary traffic (full/empty churn);
+   a roomy run maximizes successful operations. *)
+let tight = List.map (stress_case 4 8_000 4) impls
+let roomy = List.map (stress_case 4 8_000 256) impls
+let wide = List.map (stress_case 8 3_000 64) impls
+
+(* Two-end dedicated traffic: pushers on the left, poppers on the
+   right, checking FIFO-ish flow under the paper's headline usage. *)
+let two_end_pipeline (impl : Test_support.impl) =
+  Alcotest.test_case (impl.impl_name ^ ": two-end pipeline") `Slow (fun () ->
+      let h = impl.fresh ~capacity:1024 in
+      let produced = Atomic.make 0 and consumed = Atomic.make 0 in
+      let n = 20_000 in
+      let producer () =
+        for i = 1 to n do
+          let rec push () =
+            match h.Test_support.apply (Spec.Op.Push_left i) with
+            | Spec.Op.Okay -> Atomic.incr produced
+            | Spec.Op.Full -> push ()
+            | Spec.Op.Empty | Spec.Op.Got _ -> assert false
+          in
+          push ()
+        done
+      in
+      let consumer () =
+        let got = ref 0 in
+        while !got < n do
+          match h.Test_support.apply Spec.Op.Pop_right with
+          | Spec.Op.Got _ ->
+              incr got;
+              Atomic.incr consumed
+          | Spec.Op.Empty -> Domain.cpu_relax ()
+          | Spec.Op.Okay | Spec.Op.Full -> assert false
+        done
+      in
+      let p = Domain.spawn producer and c = Domain.spawn consumer in
+      Domain.join p;
+      Domain.join c;
+      Alcotest.(check int) "all values flowed through" n (Atomic.get consumed);
+      Alcotest.(check int) "produced all" n (Atomic.get produced))
+
+let pipelines =
+  List.map two_end_pipeline
+    [
+      array_impl (module Deque.Array_deque.Lockfree);
+      list_impl (module Deque.List_deque.Lockfree);
+      dummy_impl (module Deque.List_deque_dummy.Lockfree);
+    ]
+
+let () =
+  Alcotest.run "stress"
+    [
+      ("tight capacity", tight);
+      ("roomy capacity", roomy);
+      ("eight threads", wide);
+      ("two-end pipeline", pipelines);
+    ]
