@@ -182,3 +182,20 @@ let header title =
   Printf.printf "\n=== %s ===\n" title
 
 let note fmt = Printf.printf (fmt ^^ "\n")
+
+(* --- Machine-readable output (--json) ---
+
+   Experiments push structured rows here while printing their human
+   tables; the driver drains the accumulator after each experiment and
+   files the rows under that experiment's id in the output document.
+   With no sink installed (no --json flag) emission is a no-op. *)
+
+let json_enabled = ref false
+let json_acc : Harness.Json.t list ref = ref []
+
+let emit_json row = if !json_enabled then json_acc := row :: !json_acc
+
+let drain_json () =
+  let rows = List.rev !json_acc in
+  json_acc := [];
+  rows

@@ -1,4 +1,4 @@
-(* The experiment tables E1-E14 (see DESIGN.md section 5 for the map
+(* The experiment tables E1-E17 (see DESIGN.md section 5 for the map
    from paper artifact to experiment).  Each experiment prints one or
    more tables; EXPERIMENTS.md quotes and discusses the output.  The
    [quick] flag shrinks durations and sample counts for smoke runs. *)
@@ -983,13 +983,116 @@ let e14 ~quick =
      frozen inside the critical section blocks every other thread (E9)"
 
 (* ------------------------------------------------------------------ *)
-(* E15: what a 3-word CAS would buy (extension; Section 6's question)  *)
+(* E15: substrate scaling sweep (tentpole of the adaptive-substrate    *)
+(* work): throughput and DCAS fate per domain count and substrate      *)
+(* ------------------------------------------------------------------ *)
+
+let e15 ~quick =
+  header "E15 substrate scaling: throughput and DCAS fate vs domains";
+  (* Cost of the pre-validation fast path, measured directly: a DCAS
+     whose expected values are already stale returns false from two
+     plain reads — no descriptor, no helping, no allocation.  The
+     success path allocates and walks the full protocol, so the gap is
+     what a contended retry loop saves per doomed attempt. *)
+  let quota = if quick then 0.2 else 0.4 in
+  let a = Dcas.Mem_lockfree.make 0 and b = Dcas.Mem_lockfree.make 0 in
+  let micro =
+    ns_per_op ~quota
+      [
+        ( "fastfail",
+          fun () -> ignore (Dcas.Mem_lockfree.dcas a b 1 1 2 2) );
+        ( "success",
+          fun () ->
+            let va = Dcas.Mem_lockfree.get a and vb = Dcas.Mem_lockfree.get b in
+            ignore (Dcas.Mem_lockfree.dcas a b va vb (va + 1) (vb + 1)) );
+      ]
+  in
+  Dcas.Mem_lockfree.reset_stats ();
+  let n_forced = cnt ~quick 10_000 in
+  for _ = 1 to n_forced do
+    ignore (Dcas.Mem_lockfree.dcas a b (-1) (-1) 0 0)
+  done;
+  let forced = Dcas.Mem_lockfree.stats () in
+  Harness.Table.print
+    ~headers:[ "dcas outcome"; "ns/op"; "allocates" ]
+    [
+      [ "fail via pre-validation"; fmt_ns (List.assoc "fastfail" micro); "no" ];
+      [ "success (descriptor path)"; fmt_ns (List.assoc "success" micro); "yes" ];
+    ];
+  note "forced-stale sanity: %d attempts -> %d fast-fails (no descriptor built)"
+    forced.Dcas.Memory_intf.dcas_attempts
+    forced.Dcas.Memory_intf.dcas_fastfails;
+  (* The sweep proper: one array deque per (substrate, domain-count)
+     cell, all domains hammering both ends of a deliberately small
+     deque (capacity 16) so the index words stay contended.  The stats
+     columns attribute every DCAS attempt: committed, killed early by
+     pre-validation, or killed late by the full protocol. *)
+  let duration = dur ~quick 0.4 in
+  let substrates =
+    [
+      ("lockfree", array_lockfree, Dcas.Mem_lockfree.reset_stats,
+       Dcas.Mem_lockfree.stats);
+      ("striped", array_striped, Dcas.Mem_striped.reset_stats,
+       Dcas.Mem_striped.stats);
+      ("locked", array_locked, Dcas.Mem_lock.reset_stats, Dcas.Mem_lock.stats);
+    ]
+  in
+  let domain_counts = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let rows =
+    List.concat_map
+      (fun (sname, factory, reset, stats) ->
+        List.map
+          (fun domains ->
+            reset ();
+            let tp =
+              mixed_throughput ~threads:domains ~duration
+                ~mix:Harness.Workload.balanced factory ~capacity:16 ~prefill:8
+            in
+            let s = stats () in
+            let open Dcas.Memory_intf in
+            let rate part whole =
+              if whole = 0 then 0. else float_of_int part /. float_of_int whole
+            in
+            emit_json
+              (Harness.Json.Obj
+                 [
+                   ("experiment", Harness.Json.String "e15");
+                   ("substrate", Harness.Json.String sname);
+                   ("domains", Harness.Json.Int domains);
+                   ("ops_per_sec", Harness.Json.Float tp);
+                   ("dcas_attempts", Harness.Json.Int s.dcas_attempts);
+                   ("dcas_successes", Harness.Json.Int s.dcas_successes);
+                   ("dcas_fastfails", Harness.Json.Int s.dcas_fastfails);
+                 ]);
+            [
+              sname;
+              string_of_int domains;
+              fmt_tp tp;
+              Harness.Table.pct (rate s.dcas_successes s.dcas_attempts);
+              string_of_int s.dcas_fastfails;
+              Harness.Table.pct (rate s.dcas_fastfails s.dcas_attempts);
+            ])
+          domain_counts)
+      substrates
+  in
+  Harness.Table.print
+    ~headers:
+      [ "substrate"; "domains"; "ops/s"; "dcas ok"; "fastfails"; "fastfail" ]
+    rows;
+  note
+    "single instance, capacity 16, balanced two-end mix; 'fastfail' counts\n\
+     doomed DCASes rejected by pre-validation before any descriptor is\n\
+     allocated (lockfree substrate only; lock-based substrates have no\n\
+     slow path to skip)"
+
+(* ------------------------------------------------------------------ *)
+(* E17: what a 3-word CAS would buy (extension; Section 6's question)  *)
 (* ------------------------------------------------------------------ *)
 
 let casn3_lockfree = of_list_dummy (module Deque.List_deque_casn.Lockfree)
 
-let e15 ~quick =
-  header "E15 extension: DCAS split pop vs single 3-word-CAS pop";
+let e17 ~quick =
+  header "E17 extension: DCAS split pop vs single 3-word-CAS pop";
   let quota = if quick then 0.2 else 0.4 in
   (* atomic-operation count per pop, on the sequential substrate *)
   let ops_per_pop label prefill_push pop delete =
@@ -1192,6 +1295,7 @@ let all : experiment list =
     { id = "e12"; title = "DCAS substrates"; run = e12 };
     { id = "e13"; title = "verification volume"; run = e13 };
     { id = "e14"; title = "lock-freedom stall points"; run = e14 };
-    { id = "e15"; title = "3-word CAS extension"; run = e15 };
+    { id = "e15"; title = "substrate scaling sweep"; run = e15 };
     { id = "e16"; title = "GC assumption probe"; run = e16 };
+    { id = "e17"; title = "3-word CAS extension"; run = e17 };
   ]

@@ -3,12 +3,24 @@
      dune exec bench/main.exe                 # all experiments
      dune exec bench/main.exe -- e5 e7        # a selection
      dune exec bench/main.exe -- --quick      # fast smoke pass
+     dune exec bench/main.exe -- --json out.json e15   # machine-readable copy
+     dune exec bench/main.exe -- --check-json out.json # validate/summarize it
 
-   Experiment ids map to paper artifacts via the index in DESIGN.md. *)
+   Experiment ids map to paper artifacts via the index in DESIGN.md.
+
+   The --json document has a stable schema (see README "Benchmarking"):
+
+     { "schema": "dcas-deques-bench/1",
+       "quick": bool,
+       "experiments": [
+         { "id": "e15", "title": "...", "elapsed_s": float,
+           "rows": [ { ... per-experiment fields ... } ] } ] } *)
 
 open Cmdliner
 
-let run_selected quick ids =
+let schema_id = "dcas-deques-bench/1"
+
+let run_selected quick json_file ids =
   let selected =
     match ids with
     | [] -> Experiments.all
@@ -26,29 +38,113 @@ let run_selected quick ids =
                 exit 2)
           ids
   in
+  if json_file <> None then Bench_support.json_enabled := true;
   let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun e ->
-      let t = Unix.gettimeofday () in
-      e.Experiments.run ~quick;
-      Printf.printf "[%s done in %.1fs]\n%!" e.Experiments.id
-        (Unix.gettimeofday () -. t))
-    selected;
+  let records =
+    List.map
+      (fun e ->
+        let t = Unix.gettimeofday () in
+        e.Experiments.run ~quick;
+        let elapsed = Unix.gettimeofday () -. t in
+        Printf.printf "[%s done in %.1fs]\n%!" e.Experiments.id elapsed;
+        Harness.Json.Obj
+          [
+            ("id", Harness.Json.String e.Experiments.id);
+            ("title", Harness.Json.String e.Experiments.title);
+            ("elapsed_s", Harness.Json.Float elapsed);
+            ("rows", Harness.Json.List (Bench_support.drain_json ()));
+          ])
+      selected
+  in
   Printf.printf "\nall selected experiments completed in %.1fs\n"
-    (Unix.gettimeofday () -. t0)
+    (Unix.gettimeofday () -. t0);
+  match json_file with
+  | None -> ()
+  | Some file ->
+      let doc =
+        Harness.Json.Obj
+          [
+            ("schema", Harness.Json.String schema_id);
+            ("quick", Harness.Json.Bool quick);
+            ("experiments", Harness.Json.List records);
+          ]
+      in
+      let oc = open_out file in
+      output_string oc (Harness.Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+
+(* Parse a --json document back and print a deterministic summary; the
+   cram test uses this as the round-trip check. *)
+let check_json file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Harness.Json.of_string text with
+  | exception Harness.Json.Parse_error m ->
+      Printf.eprintf "invalid JSON in %s: %s\n" file m;
+      exit 1
+  | doc ->
+      let open Harness.Json in
+      (match string_value (member "schema" doc) with
+      | Some s when s = schema_id -> Printf.printf "schema: %s\n" s
+      | Some s ->
+          Printf.eprintf "unexpected schema %S\n" s;
+          exit 1
+      | None ->
+          Printf.eprintf "missing schema field\n";
+          exit 1);
+      List.iter
+        (fun e ->
+          match string_value (member "id" e) with
+          | None ->
+              Printf.eprintf "experiment record without id\n";
+              exit 1
+          | Some id ->
+              let rows = to_list (member "rows" e) in
+              (* every row must at least carry numeric columns where
+                 the schema promises them *)
+              List.iter
+                (fun r ->
+                  match number_value (member "ops_per_sec" r) with
+                  | Some _ -> ()
+                  | None ->
+                      Printf.eprintf "row in %s lacks ops_per_sec\n" id;
+                      exit 1)
+                rows;
+              Printf.printf "%s: %d rows\n" id (List.length rows))
+        (to_list (member "experiments" doc))
+
+let main quick json_file check ids =
+  match check with
+  | Some file -> check_json file
+  | None -> run_selected quick json_file ids
 
 let quick =
   let doc = "Shrink durations and sample counts (smoke run)." in
   Arg.(value & flag & info [ "q"; "quick" ] ~doc)
+
+let json_file =
+  let doc = "Also write results as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let check =
+  let doc =
+    "Parse a previously written --json $(docv), validate it against the \
+     schema and print a summary, instead of running experiments."
+  in
+  Arg.(value & opt (some string) None & info [ "check-json" ] ~docv:"FILE" ~doc)
 
 let ids =
   let doc = "Experiment ids to run (default: all). E.g. e4 e7." in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let cmd =
-  let doc = "DCAS deque experiment tables (E1-E14)" in
+  let doc = "DCAS deque experiment tables (E1-E17)" in
   Cmd.v
     (Cmd.info "bench" ~doc)
-    Term.(const run_selected $ quick $ ids)
+    Term.(const main $ quick $ json_file $ check $ ids)
 
 let () = exit (Cmd.eval cmd)

@@ -52,8 +52,12 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
   let make ?(hints = true) ~length () =
     if length < 1 then invalid_arg "Array_deque.make: length must be >= 1";
     {
-      l = M.make 0;
-      r = M.make (1 %% length);
+      (* The two end indices are the deque's permanent hot spots — every
+         operation on a side reads and DCASes its index — and they are
+         allocated back to back, so unpadded they share one cache line
+         and the "independent ends" of E5 ping-pong it anyway. *)
+      l = M.make_padded 0;
+      r = M.make_padded (1 %% length);
       s = Array.init length (fun _ -> M.make ~equal:cell_equal Null);
       length;
       hints;

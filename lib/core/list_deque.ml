@@ -73,6 +73,16 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
       value = M.make ~equal:cell_equal Null;
     }
 
+  (* Sentinels live as long as the deque and their inward pointers are
+     touched by every operation on their side; padding keeps SL's and
+     SR's hot words off each other's (and the pool's) cache lines. *)
+  let new_sentinel_node () =
+    {
+      left = M.make_padded ~equal:pointer_equal nil_pointer;
+      right = M.make_padded ~equal:pointer_equal nil_pointer;
+      value = M.make_padded ~equal:cell_equal Null;
+    }
+
   (* Dereference a pointer that the representation invariant guarantees
      is non-nil (sentinels' inward pointers and list links). *)
   let node_of = function
@@ -80,7 +90,7 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
     | Nil -> assert false
 
   let make ?(alloc = Alloc.unbounded) ?(recycle = false) () =
-    let sl = new_raw_node () and sr = new_raw_node () in
+    let sl = new_sentinel_node () and sr = new_sentinel_node () in
     M.set_private sl.value SentL;
     M.set_private sr.value SentR;
     M.set_private sl.right { ptr = Node sr; deleted = false };
@@ -117,8 +127,15 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
 
   let create ~capacity:_ () = make ()
 
-  (* Figure 17: complete any pending right-side physical deletion. *)
+  (* Figure 17: complete any pending right-side physical deletion.
+
+     Retry points that follow a *failed* DCAS back off before looping:
+     the failure proves another operation just won on the same words,
+     so immediate retry only prolongs the convoy (Section 6 measures
+     exactly this effect).  Retries after a plain re-read do not back
+     off — the state may simply have been stale. *)
   let delete_right t =
+    let b = Dcas.Backoff.create () in
     let rec loop () =
       let old_l = M.get t.sr.left in
       (* line 4: someone already finished the deletion *)
@@ -140,7 +157,10 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
                 retire t target;
                 retire t (node_of old_r.ptr)
               end
-              else loop ()
+              else begin
+                Dcas.Backoff.once b;
+                loop ()
+              end
             end
             else loop ()
         | SentL | SentR | Item _ ->
@@ -152,7 +172,10 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
               let new_llr = { ptr = Node t.sr; deleted = false } in
               if M.dcas t.sr.left ll.right old_l old_llr new_sr_l new_llr then
                 retire t target
-              else loop ()
+              else begin
+                Dcas.Backoff.once b;
+                loop ()
+              end
             end
             else loop ()
       end
@@ -161,6 +184,7 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
 
   (* Figure 34 (typos fixed): left-side physical deletion. *)
   let delete_left t =
+    let b = Dcas.Backoff.create () in
     let rec loop () =
       let old_r = M.get t.sl.right in
       if not old_r.deleted then ()
@@ -178,7 +202,10 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
                 retire t target;
                 retire t (node_of old_l.ptr)
               end
-              else loop ()
+              else begin
+                Dcas.Backoff.once b;
+                loop ()
+              end
             end
             else loop ()
         | SentL | SentR | Item _ ->
@@ -188,7 +215,10 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
               let new_rrl = { ptr = Node t.sl; deleted = false } in
               if M.dcas t.sl.right rr.left old_r old_rrl new_sl_r new_rrl then
                 retire t target
-              else loop ()
+              else begin
+                Dcas.Backoff.once b;
+                loop ()
+              end
             end
             else loop ()
       end
@@ -197,6 +227,7 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
 
   (* Figure 11: right-side pop. *)
   let pop_right t =
+    let b = Dcas.Backoff.create () in
     let rec loop () =
       let old_l = M.get t.sr.left in
       let target = node_of old_l.ptr in
@@ -217,14 +248,20 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
                    popLeft; confirm (pointer, null) atomically and
                    report empty. *)
                 if M.dcas t.sr.left target.value old_l v old_l v then `Empty
-                else loop ()
+                else begin
+                  Dcas.Backoff.once b;
+                  loop ()
+                end
             | Item x ->
                 (* lines 13-19: claim the value and mark the node
                    deleted in the same DCAS. *)
                 let new_l = { ptr = old_l.ptr; deleted = true } in
                 if M.dcas t.sr.left target.value old_l v new_l Null then
                   `Value x
-                else loop ()
+                else begin
+                  Dcas.Backoff.once b;
+                  loop ()
+                end
             | SentL | SentR -> assert false
           end
     in
@@ -232,6 +269,7 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
 
   (* Figure 32 (typo fixed): left-side pop. *)
   let pop_left t =
+    let b = Dcas.Backoff.create () in
     let rec loop () =
       let old_r = M.get t.sl.right in
       let target = node_of old_r.ptr in
@@ -248,12 +286,18 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
             match v with
             | Null ->
                 if M.dcas t.sl.right target.value old_r v old_r v then `Empty
-                else loop ()
+                else begin
+                  Dcas.Backoff.once b;
+                  loop ()
+                end
             | Item x ->
                 let new_r = { ptr = old_r.ptr; deleted = true } in
                 if M.dcas t.sl.right target.value old_r v new_r Null then
                   `Value x
-                else loop ()
+                else begin
+                  Dcas.Backoff.once b;
+                  loop ()
+                end
             | SentL | SentR -> assert false
           end
     in
@@ -265,6 +309,7 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
     else begin
       let nn, fresh = obtain_node t in
       let init = if fresh then M.set_private else M.set in
+      let b = Dcas.Backoff.create () in
       let rec loop () =
         let old_l = M.get t.sr.left in
         if old_l.deleted then begin
@@ -283,7 +328,10 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
           let new_ptr = { ptr = Node nn; deleted = false } in
           if M.dcas t.sr.left target.right old_l old_lr new_ptr new_ptr then
             `Okay
-          else loop ()
+          else begin
+            Dcas.Backoff.once b;
+            loop ()
+          end
         end
       in
       loop ()
@@ -295,6 +343,7 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
     else begin
       let nn, fresh = obtain_node t in
       let init = if fresh then M.set_private else M.set in
+      let b = Dcas.Backoff.create () in
       let rec loop () =
         let old_r = M.get t.sl.right in
         if old_r.deleted then begin
@@ -310,7 +359,10 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
           let new_ptr = { ptr = Node nn; deleted = false } in
           if M.dcas t.sl.right target.left old_r old_rl new_ptr new_ptr then
             `Okay
-          else loop ()
+          else begin
+            Dcas.Backoff.once b;
+            loop ()
+          end
         end
       in
       loop ()

@@ -27,7 +27,7 @@
    pins the neighborhood.
 
    Pushes still need only two words (plain DCAS shape, expressed as a
-   2-entry CASN).  Experiment E15 measures what the stronger primitive
+   2-entry CASN).  Experiment E17 measures what the stronger primitive
    buys: one CASN per pop instead of the split's two DCASes, at the
    cost of a wider atomic operation. *)
 
@@ -61,6 +61,15 @@ module Make (M : Dcas.Memory_intf.MEMORY_CASN) = struct
       value;
     }
 
+  (* Sentinels: every operation hits their inward pointer, so keep the
+     two off each other's cache lines. *)
+  let new_sentinel value =
+    {
+      left = M.make_padded ~equal:node_ref_equal Nil;
+      right = M.make_padded ~equal:node_ref_equal Nil;
+      value;
+    }
+
   let node_of = function
     | Node n -> n
     | Nil -> assert false
@@ -68,7 +77,7 @@ module Make (M : Dcas.Memory_intf.MEMORY_CASN) = struct
   let make ?(alloc = Alloc.unbounded) ?(recycle = false) () =
     if recycle then
       invalid_arg "List_deque_casn.make: node recycling is only implemented for List_deque";
-    let sl = new_node SentL and sr = new_node SentR in
+    let sl = new_sentinel SentL and sr = new_sentinel SentR in
     M.set_private sl.right (Node sr);
     M.set_private sr.left (Node sl);
     { sl; sr; alloc }
@@ -82,6 +91,7 @@ module Make (M : Dcas.Memory_intf.MEMORY_CASN) = struct
   let delete_left (_ : 'a t) = ()
 
   let pop_right t =
+    let b = Dcas.Backoff.create () in
     let rec loop () =
       let old_l = M.get t.sr.left in
       let target = node_of old_l in
@@ -102,11 +112,15 @@ module Make (M : Dcas.Memory_intf.MEMORY_CASN) = struct
             Alloc.free t.alloc;
             `Value v
           end
-          else loop ()
+          else begin
+            Dcas.Backoff.once b;
+            loop ()
+          end
     in
     loop ()
 
   let pop_left t =
+    let b = Dcas.Backoff.create () in
     let rec loop () =
       let old_r = M.get t.sl.right in
       let target = node_of old_r in
@@ -126,7 +140,10 @@ module Make (M : Dcas.Memory_intf.MEMORY_CASN) = struct
             Alloc.free t.alloc;
             `Value v
           end
-          else loop ()
+          else begin
+            Dcas.Backoff.once b;
+            loop ()
+          end
     in
     loop ()
 
@@ -134,6 +151,7 @@ module Make (M : Dcas.Memory_intf.MEMORY_CASN) = struct
     if not (Alloc.try_alloc t.alloc) then `Full
     else begin
       let nn = new_node (Item v) in
+      let b = Dcas.Backoff.create () in
       let rec loop () =
         let old_l = M.get t.sr.left in
         let target = node_of old_l in
@@ -146,7 +164,10 @@ module Make (M : Dcas.Memory_intf.MEMORY_CASN) = struct
               M.Cass (target.right, Node t.sr, Node nn);
             ]
         then `Okay
-        else loop ()
+        else begin
+          Dcas.Backoff.once b;
+          loop ()
+        end
       in
       loop ()
     end
@@ -155,6 +176,7 @@ module Make (M : Dcas.Memory_intf.MEMORY_CASN) = struct
     if not (Alloc.try_alloc t.alloc) then `Full
     else begin
       let nn = new_node (Item v) in
+      let b = Dcas.Backoff.create () in
       let rec loop () =
         let old_r = M.get t.sl.right in
         let target = node_of old_r in
@@ -167,7 +189,10 @@ module Make (M : Dcas.Memory_intf.MEMORY_CASN) = struct
               M.Cass (target.left, Node t.sl, Node nn);
             ]
         then `Okay
-        else loop ()
+        else begin
+          Dcas.Backoff.once b;
+          loop ()
+        end
       in
       loop ()
     end

@@ -60,6 +60,17 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
       value = M.make ~equal:cell_equal Null;
     }
 
+  (* Long-lived and hit by every operation; padded so the two
+     sentinels' hot words do not share cache lines.  Dummies stay
+     unpadded — they are transient. *)
+  let new_sentinel_node () =
+    {
+      kind = Regular;
+      left = M.make_padded ~equal:node_ref_equal Nil;
+      right = M.make_padded ~equal:node_ref_equal Nil;
+      value = M.make_padded ~equal:cell_equal Null;
+    }
+
   let node_of = function
     | Node n -> n
     | Nil -> assert false
@@ -89,7 +100,7 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
   let make ?(alloc = Alloc.unbounded) ?(recycle = false) () =
     if recycle then
       invalid_arg "List_deque_dummy.make: node recycling is only implemented for List_deque";
-    let sl = new_raw_node () and sr = new_raw_node () in
+    let sl = new_sentinel_node () and sr = new_sentinel_node () in
     M.set_private sl.value SentL;
     M.set_private sr.value SentR;
     M.set_private sl.right (Node sr);
@@ -98,8 +109,10 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
 
   let create ~capacity:_ () = make ()
 
-  (* Figure 17 under the dummy encoding. *)
+  (* Figure 17 under the dummy encoding.  As in [List_deque], retries
+     that follow a failed DCAS back off before looping. *)
   let delete_right t =
+    let b = Dcas.Backoff.create () in
     let rec loop () =
       let old_l = read_link t.sr.left in
       if not old_l.deleted then ()
@@ -118,7 +131,10 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
                 Alloc.free t.alloc;
                 Alloc.free t.alloc
               end
-              else loop ()
+              else begin
+                Dcas.Backoff.once b;
+                loop ()
+              end
             end
             else loop ()
         | SentL | SentR | Item _ ->
@@ -128,7 +144,10 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
                 M.dcas t.sr.left old_ll.right old_l.raw old_llr (direct old_ll)
                   (direct t.sr)
               then Alloc.free t.alloc
-              else loop ()
+              else begin
+                Dcas.Backoff.once b;
+                loop ()
+              end
             end
             else loop ()
       end
@@ -137,6 +156,7 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
 
   (* Figure 34 under the dummy encoding. *)
   let delete_left t =
+    let b = Dcas.Backoff.create () in
     let rec loop () =
       let old_r = read_link t.sl.right in
       if not old_r.deleted then ()
@@ -154,7 +174,10 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
                 Alloc.free t.alloc;
                 Alloc.free t.alloc
               end
-              else loop ()
+              else begin
+                Dcas.Backoff.once b;
+                loop ()
+              end
             end
             else loop ()
         | SentL | SentR | Item _ ->
@@ -164,7 +187,10 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
                 M.dcas t.sl.right old_rr.left old_r.raw old_rrl (direct old_rr)
                   (direct t.sl)
               then Alloc.free t.alloc
-              else loop ()
+              else begin
+                Dcas.Backoff.once b;
+                loop ()
+              end
             end
             else loop ()
       end
@@ -173,6 +199,7 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
 
   (* Figure 11 under the dummy encoding. *)
   let pop_right t =
+    let b = Dcas.Backoff.create () in
     let rec loop () =
       let old_l = read_link t.sr.left in
       let target = old_l.ptr in
@@ -190,12 +217,18 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
             | Null ->
                 if M.dcas t.sr.left target.value old_l.raw v old_l.raw v then
                   `Empty
-                else loop ()
+                else begin
+                  Dcas.Backoff.once b;
+                  loop ()
+                end
             | Item x ->
                 let new_raw = marked target in
                 if M.dcas t.sr.left target.value old_l.raw v new_raw Null then
                   `Value x
-                else loop ()
+                else begin
+                  Dcas.Backoff.once b;
+                  loop ()
+                end
             | SentL | SentR -> assert false
           end
     in
@@ -203,6 +236,7 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
 
   (* Figure 32 under the dummy encoding. *)
   let pop_left t =
+    let b = Dcas.Backoff.create () in
     let rec loop () =
       let old_r = read_link t.sl.right in
       let target = old_r.ptr in
@@ -220,12 +254,18 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
             | Null ->
                 if M.dcas t.sl.right target.value old_r.raw v old_r.raw v then
                   `Empty
-                else loop ()
+                else begin
+                  Dcas.Backoff.once b;
+                  loop ()
+                end
             | Item x ->
                 let new_raw = marked target in
                 if M.dcas t.sl.right target.value old_r.raw v new_raw Null then
                   `Value x
-                else loop ()
+                else begin
+                  Dcas.Backoff.once b;
+                  loop ()
+                end
             | SentL | SentR -> assert false
           end
     in
@@ -236,6 +276,7 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
     if not (Alloc.try_alloc t.alloc) then `Full
     else begin
       let nn = new_raw_node () in
+      let b = Dcas.Backoff.create () in
       let rec loop () =
         let old_l = read_link t.sr.left in
         if old_l.deleted then begin
@@ -253,7 +294,10 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
             M.dcas t.sr.left target.right old_l.raw old_lr (direct nn)
               (direct nn)
           then `Okay
-          else loop ()
+          else begin
+            Dcas.Backoff.once b;
+            loop ()
+          end
         end
       in
       loop ()
@@ -264,6 +308,7 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
     if not (Alloc.try_alloc t.alloc) then `Full
     else begin
       let nn = new_raw_node () in
+      let b = Dcas.Backoff.create () in
       let rec loop () =
         let old_r = read_link t.sl.right in
         if old_r.deleted then begin
@@ -281,7 +326,10 @@ module Make (M : Dcas.Memory_intf.MEMORY) = struct
             M.dcas t.sl.right target.left old_r.raw old_rl (direct nn)
               (direct nn)
           then `Okay
-          else loop ()
+          else begin
+            Dcas.Backoff.once b;
+            loop ()
+          end
         end
       in
       loop ()

@@ -8,14 +8,22 @@
 
 type t
 
+val default_min_wait : int
+(** Default lower spin bound (4). *)
+
+val default_max_wait : int
+(** Default saturation bound for the doubling window (1024). *)
+
 val create : ?min_wait:int -> ?max_wait:int -> unit -> t
 (** Fresh backoff state.  [min_wait] and [max_wait] bound the spin count
-    per wait (defaults 4 and 1024).
+    per wait (defaults {!default_min_wait} and {!default_max_wait}).
 
     @raise Invalid_argument unless [1 <= min_wait <= max_wait]. *)
 
 val once : t -> unit
-(** Spin for a randomized interval and double the bound (saturating). *)
+(** Spin for an unbiased random interval in
+    [\[min_wait, min_wait + wait)] and double the window (saturating at
+    [max_wait]). *)
 
 val reset : t -> unit
 (** Return the wait bound to [min_wait] (e.g. after a success). *)

@@ -15,6 +15,7 @@ let reset_stats () = Opstats.reset counters
 let mutex = Mutex.create ()
 
 let make ?(equal = ( = )) v = { id = Id.next (); content = v; equal }
+let make_padded ?equal v = Padding.copy_as_padded (make ?equal v)
 
 let get loc =
   Opstats.incr_read counters;

@@ -55,6 +55,10 @@ let next_id =
 let make ?(equal = ( = )) v =
   { id = next_id (); state = Atomic.make (Value v); equal }
 
+let make_padded ?(equal = ( = )) v =
+  Padding.copy_as_padded
+    { id = next_id (); state = Padding.make_atomic (Value v); equal }
+
 (* The logical value of a state block, given the owning descriptor's
    current status.  Status is monotonic (Undecided -> Failed/Succeeded,
    then frozen), so reading the state block and then its status yields a
@@ -117,31 +121,69 @@ let rec set loc v =
    on it, so a plain store of a fresh Value block suffices. *)
 let set_private loc v = Atomic.set loc.state (Value v)
 
+(* Pre-validation fast path: a DCAS whose expected values are already
+   stale is doomed, and a single logical read of either location proves
+   it.  [resolve] of the current state block is exactly such a read
+   (linearizing at the [Atomic.get]), so failing here is
+   indistinguishable from installing a descriptor and losing — except
+   that it allocates nothing and performs no CAS, which under
+   contention is the difference between a cache-line read and a
+   read-for-ownership storm.  Mismatch against an [Owned] state needs
+   no helping either: the owner's status word alone decides the logical
+   value. *)
+let doomed (type a) (loc : a loc) (expected : a) =
+  not (loc.equal (resolve (Atomic.get loc.state)) expected)
+
 let dcas l1 l2 o1 o2 n1 n2 =
   if l1.id = l2.id then invalid_arg "Mem_lockfree.dcas: locations must differ";
   Opstats.incr_attempt counters;
-  let e1 = Entry { loc = l1; before = o1; after = n1 }
-  and e2 = Entry { loc = l2; before = o2; after = n2 } in
-  let entries = if l1.id < l2.id then [| e1; e2 |] else [| e2; e1 |] in
-  let desc = { status = Atomic.make Undecided; entries } in
-  help desc;
-  let ok = Atomic.get desc.status = Succeeded in
-  if ok then Opstats.incr_success counters;
-  ok
+  if doomed l1 o1 || doomed l2 o2 then begin
+    Opstats.incr_fastfail counters;
+    false
+  end
+  else begin
+    let e1 = Entry { loc = l1; before = o1; after = n1 }
+    and e2 = Entry { loc = l2; before = o2; after = n2 } in
+    let entries = if l1.id < l2.id then [| e1; e2 |] else [| e2; e1 |] in
+    let desc = { status = Atomic.make Undecided; entries } in
+    help desc;
+    let ok = Atomic.get desc.status = Succeeded in
+    if ok then Opstats.incr_success counters;
+    ok
+  end
 
 (* The strong form obtains its failing atomic view with the same trick
    the paper's own algorithms use (Figure 2, lines 8-10): a successful
    no-op DCAS certifies that the two values were simultaneously
    present.  The loop is lock-free: every retry is caused by some other
-   operation's successful DCAS. *)
-let rec dcas_strong l1 l2 o1 o2 n1 n2 =
+   operation's successful DCAS.  Retries back off — the failure that
+   sent us around the loop means the locations are contended right now,
+   and re-colliding immediately mostly fails the other operations'
+   DCASes too.  The backoff state is allocated only once the first
+   attempt has failed, keeping the success path allocation-equal to
+   [dcas]. *)
+let dcas_strong l1 l2 o1 o2 n1 n2 =
   if dcas l1 l2 o1 o2 n1 n2 then (true, o1, o2)
-  else
-    let v1 = get l1 in
-    let v2 = get l2 in
-    if l1.equal v1 o1 && l2.equal v2 o2 then dcas_strong l1 l2 o1 o2 n1 n2
-    else if dcas l1 l2 v1 v2 v1 v2 then (false, v1, v2)
-    else dcas_strong l1 l2 o1 o2 n1 n2
+  else begin
+    let b = Backoff.create () in
+    let rec retry () =
+      let v1 = get l1 in
+      let v2 = get l2 in
+      if l1.equal v1 o1 && l2.equal v2 o2 then begin
+        if dcas l1 l2 o1 o2 n1 n2 then (true, o1, o2)
+        else begin
+          Backoff.once b;
+          retry ()
+        end
+      end
+      else if dcas l1 l2 v1 v2 v1 v2 then (false, v1, v2)
+      else begin
+        Backoff.once b;
+        retry ()
+      end
+    in
+    retry ()
+  end
 
 (* Generic N-word CASN over the same locations: the natural
    generalization the paper's Section 6 alludes to when discussing
@@ -167,9 +209,22 @@ let casn cs =
   if Array.length entries = 0 then true
   else begin
     Opstats.incr_attempt counters;
-    let desc = { status = Atomic.make Undecided; entries } in
-    help desc;
-    let ok = Atomic.get desc.status = Succeeded in
-    if ok then Opstats.incr_success counters;
-    ok
+    (* Same pre-validation as [dcas]: any entry already stale dooms the
+       whole CASN, and spotting it from a logical read skips the
+       descriptor and the acquire cascade entirely. *)
+    let stale = ref false in
+    Array.iter
+      (fun (Entry { loc; before; _ }) -> if doomed loc before then stale := true)
+      entries;
+    if !stale then begin
+      Opstats.incr_fastfail counters;
+      false
+    end
+    else begin
+      let desc = { status = Atomic.make Undecided; entries } in
+      help desc;
+      let ok = Atomic.get desc.status = Succeeded in
+      if ok then Opstats.incr_success counters;
+      ok
+    end
   end

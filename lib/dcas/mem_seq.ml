@@ -13,6 +13,9 @@ let reset_stats () = Opstats.reset counters
 
 let make ?(equal = ( = )) v = { id = Id.next (); content = v; equal }
 
+(* Single-threaded by contract: placement cannot matter. *)
+let make_padded = make
+
 let get loc =
   Opstats.incr_read counters;
   loc.content

@@ -18,6 +18,7 @@ let stats () = Opstats.snapshot counters
 let reset_stats () = Opstats.reset counters
 
 let make ?(equal = ( = )) v = { id = Id.next (); content = v; equal }
+let make_padded ?equal v = Padding.copy_as_padded (make ?equal v)
 
 let stripe_of loc = loc.id mod stripe_count
 

@@ -7,11 +7,25 @@
 type stats = {
   reads : int;  (** number of [get] operations observed *)
   writes : int;  (** number of [set] operations observed *)
-  dcas_attempts : int;  (** number of [dcas]/[dcas_strong] invocations *)
+  dcas_attempts : int;  (** number of [dcas]/[dcas_strong]/[casn] invocations *)
   dcas_successes : int;  (** how many of those returned [true] *)
+  dcas_fastfails : int;
+      (** how many attempts were rejected by pre-validation — a read of
+          the locations showed an expected-value mismatch, so the
+          operation failed without taking its slow path (for
+          [Mem_lockfree]: without allocating a descriptor).  Included
+          in [dcas_attempts]; always 0 for substrates with no slow
+          path to avoid. *)
 }
 
-let empty_stats = { reads = 0; writes = 0; dcas_attempts = 0; dcas_successes = 0 }
+let empty_stats =
+  {
+    reads = 0;
+    writes = 0;
+    dcas_attempts = 0;
+    dcas_successes = 0;
+    dcas_fastfails = 0;
+  }
 
 let add_stats a b =
   {
@@ -19,11 +33,12 @@ let add_stats a b =
     writes = a.writes + b.writes;
     dcas_attempts = a.dcas_attempts + b.dcas_attempts;
     dcas_successes = a.dcas_successes + b.dcas_successes;
+    dcas_fastfails = a.dcas_fastfails + b.dcas_fastfails;
   }
 
 let pp_stats ppf s =
-  Format.fprintf ppf "reads=%d writes=%d dcas=%d/%d" s.reads s.writes
-    s.dcas_successes s.dcas_attempts
+  Format.fprintf ppf "reads=%d writes=%d dcas=%d/%d fastfail=%d" s.reads
+    s.writes s.dcas_successes s.dcas_attempts s.dcas_fastfails
 
 module type MEMORY = sig
   (** A linearizable shared memory providing the operations of Section 2:
@@ -38,6 +53,15 @@ module type MEMORY = sig
       "old" value supplied to a DCAS; it defaults to structural equality
       [( = )].  Pass a custom [equal] whenever values may contain cycles
       (e.g. pointers into a doubly-linked structure). *)
+
+  val make_padded : ?equal:('a -> 'a -> bool) -> 'a -> 'a loc
+  (** Like {!make}, but the location is allocated so that it does not
+      share a cache line with other locations (see {!Padding}).  Use
+      for the handful of a structure's locations that stay hot for its
+      whole lifetime — end indices, sentinel link words — where false
+      sharing with a neighboring allocation would serialize logically
+      disjoint operations.  Substrates to which placement is irrelevant
+      (the model checker, the sequential model) may alias [make]. *)
 
   val get : 'a loc -> 'a
   (** [get l] is the paper's [Read(L)]: a linearizable read of [l]. *)

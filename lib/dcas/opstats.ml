@@ -1,10 +1,22 @@
 (* Per-domain operation counters.  Each domain that touches a memory
    model gets its own array of atomic counters (registered in a global
    list), so the hot paths never contend on a shared counter; [snapshot]
-   sums across domains. *)
+   sums across domains.
+
+   Each counter cell is cache-line padded (see Padding): without it,
+   the five counters of one domain's bucket — and worse, the counters
+   of different domains allocated back to back — share cache lines,
+   and "per-domain so the hot path doesn't contend" is defeated by
+   coherence traffic on the line itself.  The bucket's spine array is
+   NOT padded: an array must never go through [copy_as_padded]
+   (Array.length is derived from the block size), and the spine is
+   read-only after creation, so sharing its line is harmless. *)
 
 type bucket = int Atomic.t array
-(* indices: 0 = reads, 1 = writes, 2 = dcas attempts, 3 = dcas successes *)
+(* indices: 0 = reads, 1 = writes, 2 = dcas attempts, 3 = dcas
+   successes, 4 = dcas fast-fails *)
+
+let bucket_size = 5
 
 type t = {
   mutex : Mutex.t;
@@ -20,7 +32,7 @@ let create () =
         buckets = [];
         key =
           Domain.DLS.new_key (fun () ->
-              let b = Array.init 4 (fun _ -> Atomic.make 0) in
+              let b = Array.init bucket_size (fun _ -> Padding.make_atomic 0) in
               let t = Lazy.force t in
               Mutex.lock t.mutex;
               t.buckets <- b :: t.buckets;
@@ -37,6 +49,7 @@ let incr_read t = incr (bucket t) 0
 let incr_write t = incr (bucket t) 1
 let incr_attempt t = incr (bucket t) 2
 let incr_success t = incr (bucket t) 3
+let incr_fastfail t = incr (bucket t) 4
 
 let snapshot t : Memory_intf.stats =
   Mutex.lock t.mutex;
@@ -48,6 +61,7 @@ let snapshot t : Memory_intf.stats =
     writes = sum 1;
     dcas_attempts = sum 2;
     dcas_successes = sum 3;
+    dcas_fastfails = sum 4;
   }
 
 let reset t =

@@ -15,6 +15,10 @@ val incr_write : t -> unit
 val incr_attempt : t -> unit
 val incr_success : t -> unit
 
+val incr_fastfail : t -> unit
+(** Count a DCAS/CASN attempt rejected by pre-validation (see
+    {!Memory_intf.stats.dcas_fastfails}). *)
+
 val snapshot : t -> Memory_intf.stats
 (** Sum of all domains' counters since creation or the last {!reset}. *)
 

@@ -1,0 +1,42 @@
+(* Cache-line padding for contended heap blocks, in the style of
+   Multicore_magic.copy_as_padded.
+
+   OCaml gives no direct control over object placement, but the minor
+   allocator is a bump allocator: blocks allocated together end up
+   adjacent, so two Atomic.t cells made back to back share a cache line
+   and every CAS on one invalidates the other on all cores (false
+   sharing).  Widening a hot block with unused trailing words pushes
+   its neighbors out of the line: after the copy survives a minor
+   collection the block occupies [padding_words + header] words of the
+   major heap, more than a 64-byte line on 64-bit, so no *other* hot
+   block shares its line.
+
+   The copy is shallow and preserves tag and field order, so mutable
+   record fields and Atomic.t contents (an Atomic.t is a single-field
+   heap block) behave identically through it.  Non-block values and
+   exotic tags (closures, floats-only records, custom blocks) are
+   returned unchanged — padding them is either impossible or unsound,
+   and callers only pad ordinary records and atomics. *)
+
+(* 8 words = one 64-byte line on 64-bit; pad well past one line so the
+   block straddling a line boundary still keeps neighbors out. *)
+let cache_line_words = 8
+let padding_words = (2 * cache_line_words) - 1
+
+let copy_as_padded (v : 'a) : 'a =
+  let r = Obj.repr v in
+  if
+    Obj.is_block r && Obj.tag r = 0 && Obj.size r > 0
+    && Obj.size r < padding_words
+  then begin
+    (* Obj.new_block initializes every field to (), so the trailing
+       padding words are valid immediates for the GC to scan. *)
+    let padded = Obj.new_block 0 padding_words in
+    for i = 0 to Obj.size r - 1 do
+      Obj.set_field padded i (Obj.field r i)
+    done;
+    Obj.obj padded
+  end
+  else v
+
+let make_atomic v = copy_as_padded (Atomic.make v)

@@ -1,0 +1,30 @@
+(** Cache-line padding for contended heap blocks.
+
+    OCaml's bump allocator places consecutively allocated blocks on the
+    same cache line, so independent hot [Atomic.t] cells (per-domain
+    counters, a deque's two end indices, sentinel link words) falsely
+    share lines and turn logically disjoint operations into coherence
+    traffic.  [copy_as_padded] re-allocates a block with unused
+    trailing words so it fills at least one full line by itself, in the
+    style of [Multicore_magic.copy_as_padded]. *)
+
+val cache_line_words : int
+(** Words per assumed cache line (8 words = 64 bytes on 64-bit). *)
+
+val copy_as_padded : 'a -> 'a
+(** [copy_as_padded v] is a shallow copy of [v] widened with unused
+    trailing words so that no other hot block shares its cache line.
+    Identity (same physical value, no copy) for non-blocks, for blocks
+    with non-zero tags (closures, float records, custom blocks), and
+    for blocks already at least as wide as the padding target — so it
+    is always safe to apply.  Mutable fields of the copy work as usual;
+    note the {e copy} is the padded value, the argument is unchanged.
+
+    NEVER pad an array: [Array.length] is derived from the block size,
+    so the copy would report phantom trailing elements whose contents
+    are the unit padding words.  (Tag 0 cannot be distinguished from a
+    record at runtime, so this cannot be guarded against here.) *)
+
+val make_atomic : 'a -> 'a Atomic.t
+(** [make_atomic v] is [copy_as_padded (Atomic.make v)]: an atomic cell
+    guaranteed not to share a cache line with any other such cell. *)

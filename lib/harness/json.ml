@@ -1,0 +1,254 @@
+(* A minimal JSON tree, encoder and parser — just enough for the
+   benchmark driver's machine-readable output (experiment E15 and the
+   [--json] flag) and for the cram test that round-trips it.  No
+   external dependency: the container image carries no JSON library,
+   and the schema we emit needs nothing fancy (no unicode escapes
+   beyond \uXXXX pass-through, numbers are OCaml floats/ints). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- encoding --- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else
+    (* shortest round-trippable representation *)
+    let s = Printf.sprintf "%.17g" f in
+    let shorter = Printf.sprintf "%.12g" f in
+    if float_of_string shorter = f then shorter else s
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> (
+      match Float.classify_float f with
+      | FP_nan | FP_infinite ->
+          (* nan/inf are not JSON; encode as null like most emitters *)
+          Buffer.add_string b "null"
+      | FP_normal | FP_subnormal | FP_zero ->
+          Buffer.add_string b (float_literal f))
+  | String s -> escape_string b s
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_string b k;
+          Buffer.add_char b ':';
+          write b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string t =
+  let b = Buffer.create 4096 in
+  write b t;
+  Buffer.contents b
+
+(* --- parsing: plain recursive descent over a string --- *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable i : int }
+
+let error c fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at %d: %s" c.i m))) fmt
+
+let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+let skip_ws c =
+  while
+    c.i < String.length c.s
+    && match c.s.[c.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.i <- c.i + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.i <- c.i + 1
+  | Some x -> error c "expected %C, found %C" ch x
+  | None -> error c "expected %C, found end of input" ch
+
+let literal c word value =
+  let n = String.length word in
+  if c.i + n <= String.length c.s && String.sub c.s c.i n = word then begin
+    c.i <- c.i + n;
+    value
+  end
+  else error c "invalid literal"
+
+let parse_string_body c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if c.i >= String.length c.s then error c "unterminated string"
+    else
+      match c.s.[c.i] with
+      | '"' -> c.i <- c.i + 1
+      | '\\' ->
+          if c.i + 1 >= String.length c.s then error c "unterminated escape";
+          (match c.s.[c.i + 1] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if c.i + 5 >= String.length c.s then error c "short \\u escape";
+              let hex = String.sub c.s (c.i + 2) 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> error c "bad \\u escape %S" hex
+              in
+              (* ASCII pass-through only; our emitter never produces
+                 higher code points *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else error c "non-ASCII \\u escape unsupported";
+              c.i <- c.i + 4
+          | e -> error c "bad escape \\%C" e);
+          c.i <- c.i + 2;
+          go ()
+      | ch ->
+          Buffer.add_char b ch;
+          c.i <- c.i + 1;
+          go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.i in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.i < String.length c.s && is_num_char c.s.[c.i] do
+    c.i <- c.i + 1
+  done;
+  let text = String.sub c.s start (c.i - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> error c "bad number %S" text)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some '"' -> String (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some '[' ->
+      expect c '[';
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.i <- c.i + 1;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.i <- c.i + 1;
+              items (v :: acc)
+          | Some ']' ->
+              c.i <- c.i + 1;
+              List.rev (v :: acc)
+          | _ -> error c "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some '{' ->
+      expect c '{';
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.i <- c.i + 1;
+        Obj []
+      end
+      else begin
+        let rec pairs acc =
+          skip_ws c;
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.i <- c.i + 1;
+              pairs ((k, v) :: acc)
+          | Some '}' ->
+              c.i <- c.i + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> error c "expected ',' or '}'"
+        in
+        Obj (pairs [])
+      end
+  | Some ch -> if is_number_start ch then parse_number c else error c "unexpected %C" ch
+
+and is_number_start = function '0' .. '9' | '-' -> true | _ -> false
+
+let of_string s =
+  let c = { s; i = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.i <> String.length s then error c "trailing garbage";
+  v
+
+(* --- accessors (used by the --check-json verifier) --- *)
+
+let member k = function
+  | Obj kvs -> ( match List.assoc_opt k kvs with Some v -> v | None -> Null)
+  | _ -> Null
+
+let to_list = function List xs -> xs | _ -> []
+
+let string_value = function String s -> Some s | _ -> None
+
+let number_value = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None

@@ -1,0 +1,35 @@
+(** Minimal JSON encoder/parser for the benchmark driver's
+    machine-readable output.  Deliberately tiny: the [--json] schema
+    uses only objects, arrays, strings, booleans and numbers, and the
+    container carries no JSON library to depend on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) encoding.  [Float nan/inf] encode as [null];
+    integral floats print with a trailing [.0] so they parse back as
+    floats. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a complete JSON document.  @raise Parse_error on malformed
+    input or trailing garbage.  Integers without fractional part parse
+    as [Int], everything else numeric as [Float].  String escapes are
+    limited to the ASCII range — sufficient for everything [to_string]
+    emits. *)
+
+(** {2 Accessors} — total, returning [Null]/[[]]/[None] on shape
+    mismatch, for terse verification code. *)
+
+val member : string -> t -> t
+val to_list : t -> t list
+val string_value : t -> string option
+val number_value : t -> float option

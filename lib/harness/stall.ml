@@ -49,6 +49,7 @@ module Mem_stalling (M : Dcas.Memory_intf.MEMORY) :
 
   let name = M.name ^ "+stall"
   let make = M.make
+  let make_padded = M.make_padded
 
   let get l =
     point ();

@@ -28,6 +28,7 @@ let stats () : Dcas.Memory_intf.stats =
     writes = !writes;
     dcas_attempts = !dcas_attempts;
     dcas_successes = !dcas_successes;
+    dcas_fastfails = 0;
   }
 
 let reset_stats () =
@@ -37,6 +38,11 @@ let reset_stats () =
   dcas_successes := 0
 
 let make ?(equal = ( = )) v = { id = Dcas.Id.next (); content = v; equal }
+
+(* Single-domain exploration: placement cannot matter, and aliasing
+   [make] keeps location ids and schedule counts identical whichever
+   constructor the algorithm under test picked. *)
+let make_padded = make
 
 let get loc =
   Effect.perform Yield;

@@ -1,0 +1,24 @@
+The benchmark driver can mirror its tables into a JSON document with a
+stable schema, and re-parse it for validation.  Timings vary, so the
+run's stdout is discarded and only the deterministic --check-json
+summary is asserted: the document parses, carries the expected schema
+id, and holds the E15 sweep rows (3 substrates x 2 domain counts in
+quick mode).
+
+  $ ../../bench/main.exe --quick e15 --json out.json > /dev/null
+  $ ../../bench/main.exe --check-json out.json
+  schema: dcas-deques-bench/1
+  e15: 6 rows
+
+Quick E15 must witness the pre-validation fast path actually firing:
+the forced-stale sanity counter is exact, so grep for it.
+
+  $ ../../bench/main.exe --quick e15 | grep -c "2500 attempts -> 2500 fast-fails"
+  1
+
+Malformed input is rejected.
+
+  $ echo '{"schema": "dcas-deques-bench/1", "experiments": [' > bad.json
+  $ ../../bench/main.exe --check-json bad.json
+  invalid JSON in bad.json: at 51: unexpected end of input
+  [1]

@@ -83,6 +83,21 @@ let seq_tests (module M : MEM) =
         Alcotest.(check bool) "successes >= 1" true (s.dcas_successes >= 1);
         Alcotest.(check bool) "failures happened" true
           (s.dcas_attempts > s.dcas_successes));
+    Alcotest.test_case (name "padded locations behave identically") `Quick
+      (fun () ->
+        let a = M.make_padded 1 and b = M.make_padded 2 in
+        Alcotest.(check bool) "dcas" true (M.dcas a b 1 2 10 20);
+        Alcotest.(check int) "a" 10 (M.get a);
+        Alcotest.(check int) "b" 20 (M.get b);
+        M.set a 5;
+        Alcotest.(check int) "set" 5 (M.get a);
+        let x = ref 1 in
+        let l = M.make_padded ~equal:( == ) x in
+        let o = M.make_padded 0 in
+        Alcotest.(check bool) "custom equality respected" true
+          (M.dcas l o x 0 x 1);
+        let x' = ref 1 in
+        Alcotest.(check bool) "copy rejected" false (M.dcas l o x' 1 x' 2));
   ]
 
 (* --- Concurrency: conservation under transfer --- *)
@@ -277,6 +292,162 @@ let casn_matches_reference =
       ok = expect_ok
       && Array.for_all2 (fun l v -> M.get l = v) locs reference)
 
+(* --- the pre-validation fast path (Mem_lockfree) --- *)
+
+(* A DCAS whose expected values are already stale must fail from two
+   plain reads: no descriptor allocated, no [Owned] placeholder ever
+   installed, the locations untouched.  These tests pin each piece of
+   that contract. *)
+let fastpath_tests =
+  let module M = Dcas.Mem_lockfree in
+  [
+    Alcotest.test_case "fast-fail: counted exactly" `Quick (fun () ->
+        let a = M.make 0 and b = M.make 0 in
+        M.reset_stats ();
+        ignore (M.dcas a b 1 1 2 2);
+        let s = M.stats () in
+        Alcotest.(check int) "one attempt" 1 s.dcas_attempts;
+        Alcotest.(check int) "one fast-fail" 1 s.dcas_fastfails;
+        Alcotest.(check int) "no success" 0 s.dcas_successes;
+        (* second-location staleness takes the same early exit *)
+        ignore (M.dcas a b 0 1 2 2);
+        Alcotest.(check int) "two fast-fails" 2 (M.stats ()).dcas_fastfails);
+    Alcotest.test_case "fast-fail: allocation-free" `Quick (fun () ->
+        let a = M.make 0 and b = M.make 0 in
+        (* warm-up: first call initializes this domain's stats bucket *)
+        ignore (M.dcas a b 1 1 2 2);
+        (* [Gc.minor_words] itself boxes its float result, so a single
+           delta cannot be zero; instead the delta must not grow with
+           the iteration count, which proves the per-call cost is 0. *)
+        let delta n =
+          let before = Gc.minor_words () in
+          for _ = 1 to n do
+            ignore (M.dcas a b 1 1 2 2)
+          done;
+          Gc.minor_words () -. before
+        in
+        let d_small = delta 10 in
+        let d_large = delta 10_000 in
+        Alcotest.(check (float 0.)) "delta independent of iterations" d_small
+          d_large);
+    Alcotest.test_case "fast-fail: leaves no residue" `Quick (fun () ->
+        let a = M.make 10 and b = M.make 20 in
+        for _ = 1 to 100 do
+          ignore (M.dcas a b 99 99 0 0)
+        done;
+        Alcotest.(check int) "a unchanged" 10 (M.get a);
+        Alcotest.(check int) "b unchanged" 20 (M.get b);
+        (* no Owned left behind: a correct DCAS must still succeed, and
+           the strong form must report the plain values *)
+        let ok, va, vb = M.dcas_strong a b 10 20 11 21 in
+        Alcotest.(check bool) "clean success afterwards" true ok;
+        Alcotest.(check int) "saw a" 10 va;
+        Alcotest.(check int) "saw b" 20 vb);
+    Alcotest.test_case "casn: stale entry fast-fails without mutation" `Quick
+      (fun () ->
+        let a = M.make 1 and b = M.make 2 and c = M.make 3 in
+        M.reset_stats ();
+        let ok =
+          M.casn [ M.Cass (a, 1, 10); M.Cass (b, 99, 20); M.Cass (c, 3, 30) ]
+        in
+        Alcotest.(check bool) "fails" false ok;
+        let s = M.stats () in
+        Alcotest.(check int) "fast-failed" 1 s.dcas_fastfails;
+        Alcotest.(check (list int)) "unchanged" [ 1; 2; 3 ]
+          [ M.get a; M.get b; M.get c ]);
+  ]
+
+(* qcheck: a doomed DCAS on the lock-free model must be observationally
+   identical to one on the sequential reference — same verdict, same
+   final values, at every step of a random operation sequence. *)
+let fastfail_matches_reference =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (pair (int_bound 4) (int_bound 4))
+        (list_size (1 -- 20)
+           (pair (pair (int_bound 4) (int_bound 4))
+              (pair (int_bound 4) (int_bound 4)))))
+  in
+  let print ((i1, i2), ops) =
+    Printf.sprintf "init=(%d,%d) ops=[%s]" i1 i2
+      (String.concat ";"
+         (List.map
+            (fun ((o1, o2), (n1, n2)) ->
+              Printf.sprintf "(%d,%d)->(%d,%d)" o1 o2 n1 n2)
+            ops))
+  in
+  QCheck2.Test.make
+    ~name:"dcas (incl. fast-fail) agrees with sequential reference" ~count:500
+    ~print gen (fun ((i1, i2), ops) ->
+      let module L = Dcas.Mem_lockfree in
+      let module S = Dcas.Mem_seq in
+      let la = L.make i1 and lb = L.make i2 in
+      let sa = S.make i1 and sb = S.make i2 in
+      List.for_all
+        (fun ((o1, o2), (n1, n2)) ->
+          let lr = L.dcas la lb o1 o2 n1 n2 in
+          let sr = S.dcas sa sb o1 o2 n1 n2 in
+          lr = sr && L.get la = S.get sa && L.get lb = S.get sb)
+        ops)
+
+(* --- per-domain stats plumbing --- *)
+
+let opstats_tests =
+  [
+    Alcotest.test_case "opstats: multi-domain aggregation is exact" `Quick
+      (fun () ->
+        let module M = Dcas.Mem_lockfree in
+        M.reset_stats ();
+        let domains = 4 and per_domain = 5_000 in
+        let ds =
+          List.init domains (fun i ->
+              Domain.spawn (fun () ->
+                  (* private locations: every dcas is a deterministic
+                     fast-fail, so the expected counts are exact *)
+                  let a = M.make (2 * i) and b = M.make ((2 * i) + 1) in
+                  for _ = 1 to per_domain do
+                    ignore (M.dcas a b (-1) (-1) 0 0)
+                  done))
+        in
+        List.iter Domain.join ds;
+        let s = M.stats () in
+        Alcotest.(check int) "attempts summed across domains"
+          (domains * per_domain) s.dcas_attempts;
+        Alcotest.(check int) "fast-fails summed across domains"
+          (domains * per_domain) s.dcas_fastfails;
+        Alcotest.(check int) "no successes" 0 s.dcas_successes);
+    Alcotest.test_case "opstats: reset races with incrementers" `Quick
+      (fun () ->
+        let module M = Dcas.Mem_lockfree in
+        let stop = Atomic.make false in
+        let ds =
+          List.init 3 (fun i ->
+              Domain.spawn (fun () ->
+                  let a = M.make (100 + (2 * i)) and b = M.make (101 + (2 * i)) in
+                  while not (Atomic.get stop) do
+                    ignore (M.dcas a b (-1) (-1) 0 0)
+                  done))
+        in
+        (* hammer reset/snapshot while the incrementers run; the test
+           is that nothing crashes, no count goes negative, and a final
+           quiescent reset really zeroes every domain's bucket *)
+        for _ = 1 to 200 do
+          M.reset_stats ();
+          let s = M.stats () in
+          Alcotest.(check bool) "attempts non-negative" true
+            (s.dcas_attempts >= 0)
+        done;
+        Atomic.set stop true;
+        List.iter Domain.join ds;
+        M.reset_stats ();
+        let s = M.stats () in
+        Alcotest.(check int) "attempts zero after quiescent reset" 0
+          s.dcas_attempts;
+        Alcotest.(check int) "fast-fails zero after quiescent reset" 0
+          s.dcas_fastfails);
+  ]
+
 (* --- substrate odds and ends --- *)
 
 let misc_tests =
@@ -295,6 +466,25 @@ let misc_tests =
         done;
         Dcas.Backoff.reset b;
         Dcas.Backoff.once b);
+    Alcotest.test_case "backoff: defaults are exposed and valid" `Quick
+      (fun () ->
+        Alcotest.(check bool) "1 <= min <= max" true
+          (1 <= Dcas.Backoff.default_min_wait
+          && Dcas.Backoff.default_min_wait <= Dcas.Backoff.default_max_wait);
+        ignore
+          (Dcas.Backoff.create ~min_wait:Dcas.Backoff.default_min_wait
+             ~max_wait:Dcas.Backoff.default_max_wait ()));
+    Alcotest.test_case "backoff: degenerate bounds terminate" `Quick (fun () ->
+        (* min = max leaves a zero-width random range; each [once] must
+           still return (the rng draw has bound 1) *)
+        let b = Dcas.Backoff.create ~min_wait:3 ~max_wait:3 () in
+        for _ = 1 to 50 do
+          Dcas.Backoff.once b
+        done;
+        let b1 = Dcas.Backoff.create ~min_wait:1 ~max_wait:1 () in
+        for _ = 1 to 50 do
+          Dcas.Backoff.once b1
+        done);
     Alcotest.test_case "id: strictly increasing" `Quick (fun () ->
         let a = Dcas.Id.next () in
         let b = Dcas.Id.next () in
@@ -311,6 +501,7 @@ let misc_tests =
         Alcotest.(check int) "reads zero" 0 s.reads;
         Alcotest.(check int) "writes zero" 0 s.writes);
     QCheck_alcotest.to_alcotest casn_matches_reference;
+    QCheck_alcotest.to_alcotest fastfail_matches_reference;
   ]
 
 let () =
@@ -319,5 +510,7 @@ let () =
       ("figure-1-semantics", List.concat_map seq_tests models);
       ("concurrent-atomicity", List.concat_map concurrent_tests concurrent_models);
       ("casn", casn_tests);
+      ("fast-path", fastpath_tests);
+      ("opstats", opstats_tests);
       ("substrate", misc_tests);
     ]

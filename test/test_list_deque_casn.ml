@@ -1,4 +1,4 @@
-(* Tests for the 3CAS deque extension (experiment E15): sequential
+(* Tests for the 3CAS deque extension (experiment E17): sequential
    equivalence on every substrate, exhaustive model checks, stress
    conservation, linearizability of recorded histories — and a
    demonstration that the pop's third (validation) CASN entry is
