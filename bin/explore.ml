@@ -25,18 +25,9 @@ let parse_ops s =
            match acc with
            | Error _ as e -> e
            | Ok ops -> (
-               match String.split_on_char ':' tok with
-               | [ "qr" ] -> Ok (Spec.Op.Pop_right :: ops)
-               | [ "ql" ] -> Ok (Spec.Op.Pop_left :: ops)
-               | [ "pr"; v ] -> (
-                   match int_of_string_opt v with
-                   | Some v -> Ok (Spec.Op.Push_right v :: ops)
-                   | None -> Error (`Msg ("bad value in " ^ tok)))
-               | [ "pl"; v ] -> (
-                   match int_of_string_opt v with
-                   | Some v -> Ok (Spec.Op.Push_left v :: ops)
-                   | None -> Error (`Msg ("bad value in " ^ tok)))
-               | _ -> Error (`Msg ("unknown op " ^ tok))))
+               match Spec.Op.of_token tok with
+               | Ok op -> Ok (op :: ops)
+               | Error e -> Error (`Msg e)))
          (Ok [])
     |> Result.map List.rev
 
@@ -72,7 +63,8 @@ let ints_conv =
         Format.fprintf ppf "%s" (String.concat "," (List.map string_of_int xs))
     )
 
-let scenario_of ~algo ~length ~prefill ~setup ~threads =
+let scenario_of ~algo ~length ~prefill ~setup ~chaos_fail ~chaos_seed ~threads
+    =
   let threads = if threads = [] then [ [ Spec.Op.Pop_right ] ] else threads in
   match algo with
   | "array" ->
@@ -105,16 +97,45 @@ let scenario_of ~algo ~length ~prefill ~setup ~threads =
       Ok
         (Modelcheck.Scenario.greenwald_v2 ~name:"cli" ~length ~prefill ~setup
            threads)
+  | "list-broken" ->
+      Ok
+        (Modelcheck.Scenario.list_deque_buggy ~name:"cli" ~prefill ~setup
+           threads)
+  | "list-chaos" ->
+      Ok
+        (Modelcheck.Scenario.list_deque_chaos ~fail_prob:chaos_fail ~chaos_seed
+           ~name:"cli" ~prefill ~setup threads)
   | other -> Error ("unknown algorithm: " ^ other)
 
-let run algo length prefill setup threads sample seed victim max_schedules =
-  match scenario_of ~algo ~length ~prefill ~setup ~threads with
+let run_fuzz scenario ~runs ~seed ~strategy ~shrink =
+  let report = Modelcheck.Fuzz.run ~shrink ~runs ~seed ~strategy scenario in
+  Format.printf "%a@." Modelcheck.Fuzz.pp_report report;
+  match report.Modelcheck.Fuzz.violation with None -> 0 | Some _ -> 1
+
+let run_replay scenario token =
+  match Modelcheck.Fuzz.replay scenario ~token with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok (_, None) ->
+      print_endline "replay ok: schedule passed";
+      0
+  | Ok (threads, Some failure) ->
+      Format.printf "REPLAY VIOLATION@.%a@." Modelcheck.Fuzz.pp_failure
+        (threads, failure, Modelcheck.Fuzz.token_of threads failure.schedule);
+      1
+
+let run algo length prefill setup threads sample seed victim max_schedules
+    fuzz pct depth no_shrink replay chaos_fail chaos_seed =
+  match
+    scenario_of ~algo ~length ~prefill ~setup ~chaos_fail ~chaos_seed ~threads
+  with
   | Error e ->
       prerr_endline e;
       2
   | Ok scenario -> (
-      match victim with
-      | Some v -> (
+      match (victim, replay, pct, fuzz, sample) with
+      | Some v, _, _, _, _ -> (
           match Modelcheck.Explorer.check_nonblocking scenario ~victim:v with
           | Ok n ->
               Printf.printf
@@ -125,7 +146,15 @@ let run algo length prefill setup threads sample seed victim max_schedules =
           | Error j ->
               Printf.printf "BLOCKED: stall point %d prevented completion\n" j;
               1)
-      | None -> (
+      | None, Some token, _, _, _ -> run_replay scenario token
+      | None, None, Some runs, _, _ ->
+          run_fuzz scenario ~runs ~seed
+            ~strategy:(Modelcheck.Fuzz.Pct depth)
+            ~shrink:(not no_shrink)
+      | None, None, None, Some runs, _ ->
+          run_fuzz scenario ~runs ~seed ~strategy:Modelcheck.Fuzz.Uniform
+            ~shrink:(not no_shrink)
+      | None, None, None, None, sample -> (
           let outcome =
             match sample with
             | Some n -> Modelcheck.Explorer.sample ~schedules:n ~seed scenario
@@ -143,7 +172,8 @@ let algo =
     & info [ "algo"; "a" ] ~docv:"ALGO"
         ~doc:
           "Algorithm: array, array-no-hints, list, list-recycle, dummy, \
-           3cas, greenwald1, greenwald2.")
+           3cas, greenwald1, greenwald2, list-broken (deliberately buggy), \
+           list-chaos (fault injection).")
 
 let length =
   Arg.(
@@ -180,7 +210,56 @@ let sample =
     & info [ "sample" ] ~docv:"N"
         ~doc:"Sample N random schedules instead of exhaustive DFS.")
 
-let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Sampling seed.")
+let seed =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Sampling / fuzzing seed.")
+
+let fuzz =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuzz" ] ~docv:"N"
+        ~doc:"Fuzz N uniform-random schedules (shrinks counterexamples).")
+
+let pct =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pct" ] ~docv:"N"
+        ~doc:"Fuzz N PCT schedules (priority-based; see --depth).")
+
+let depth =
+  Arg.(
+    value & opt int 3
+    & info [ "depth" ] ~docv:"D"
+        ~doc:"PCT preemption depth: D-1 priority change points per run.")
+
+let no_shrink =
+  Arg.(
+    value & flag
+    & info [ "no-shrink" ] ~doc:"Report the first counterexample unshrunk.")
+
+let replay =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"TOKEN"
+        ~doc:
+          "Replay a dqf1/... token from a fuzz report (thread scripts come \
+           from the token; prefill/setup/algo from the other flags).")
+
+let chaos_fail =
+  Arg.(
+    value & opt float 0.1
+    & info [ "chaos-fail" ] ~docv:"P"
+        ~doc:"list-chaos: spurious DCAS failure probability.")
+
+let chaos_seed =
+  Arg.(
+    value & opt int 0xC0FFEE
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:"list-chaos: fault-injection seed.")
 
 let victim =
   Arg.(
@@ -201,6 +280,7 @@ let cmd =
     (Cmd.info "explore" ~doc)
     Term.(
       const run $ algo $ length $ prefill $ setup $ threads $ sample $ seed
-      $ victim $ max_schedules)
+      $ victim $ max_schedules $ fuzz $ pct $ depth $ no_shrink $ replay
+      $ chaos_fail $ chaos_seed)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,50 @@
+(** Fault-injecting wrapper around any {!Memory_intf.MEMORY_CASN}.
+
+    [Make (M)] behaves exactly like [M] until {!Make.configure} arms
+    it, after which it injects seeded, deterministic faults in front of
+    [M]'s operations: spurious DCAS/CASN failures (the attempt returns
+    [false] without consulting memory, as a weak compare-and-swap may),
+    bounded pre-operation delays, and long "frozen domain" stalls.
+    Injected faults are counted in the [chaos_*] fields of
+    {!Memory_intf.stats} (spurious failures also count as
+    [dcas_attempts]); [stats] sums them with [M]'s own counters.
+
+    [dcas_strong] never fails spuriously — its contract promises a
+    failing call returns an atomic view differing from the expected
+    values — but delays and freezes apply to it.  [set_private] is
+    exempt entirely: unpublished locations are invisible to other
+    threads, so a fault there would test nothing.
+
+    Draws come from per-domain SplitMix64 streams derived from the
+    configured seed, so single-domain runs (e.g. under the model
+    checker) replay faults exactly; each [configure] restarts the
+    streams. *)
+
+module Make (M : Memory_intf.MEMORY_CASN) : sig
+  include Memory_intf.MEMORY_CASN with type 'a loc = 'a M.loc
+
+  val configure :
+    ?fail_prob:float ->
+    ?delay_prob:float ->
+    ?max_delay:int ->
+    ?freeze_prob:float ->
+    ?freeze_spins:int ->
+    seed:int ->
+    unit ->
+    unit
+  (** Arm the injector.  [fail_prob] is the per-DCAS/CASN spurious
+      failure probability; [delay_prob] the per-operation probability
+      of spinning 1..[max_delay] times; [freeze_prob] the
+      per-operation probability of spinning [freeze_spins] times.
+      Probabilities default to 0; restarting the fault streams from
+      [seed] is the only effect of a configure that leaves them all 0.
+
+      @raise Invalid_argument if a probability is outside [0, 1] or a
+      spin bound is < 1. *)
+
+  val disarm : unit -> unit
+  (** Stop injecting faults; the wrapper becomes transparent. *)
+
+  val armed : unit -> bool
+  (** Is any fault probability currently non-zero? *)
+end

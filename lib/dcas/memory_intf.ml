@@ -16,6 +16,16 @@ type stats = {
           [Mem_lockfree]: without allocating a descriptor).  Included
           in [dcas_attempts]; always 0 for substrates with no slow
           path to avoid. *)
+  chaos_spurious : int;
+      (** injected spurious DCAS/CASN failures ({!Mem_chaos}): the
+          attempt returned [false] without consulting memory, as a weak
+          compare-and-swap may.  Included in [dcas_attempts]; always 0
+          outside a chaos wrapper. *)
+  chaos_delays : int;
+      (** injected bounded operation delays ({!Mem_chaos}). *)
+  chaos_freezes : int;
+      (** injected long domain stalls ({!Mem_chaos}) — the empirical
+          "thread stops making progress" of the lock-freedom claims. *)
 }
 
 let empty_stats =
@@ -25,6 +35,9 @@ let empty_stats =
     dcas_attempts = 0;
     dcas_successes = 0;
     dcas_fastfails = 0;
+    chaos_spurious = 0;
+    chaos_delays = 0;
+    chaos_freezes = 0;
   }
 
 let add_stats a b =
@@ -34,11 +47,19 @@ let add_stats a b =
     dcas_attempts = a.dcas_attempts + b.dcas_attempts;
     dcas_successes = a.dcas_successes + b.dcas_successes;
     dcas_fastfails = a.dcas_fastfails + b.dcas_fastfails;
+    chaos_spurious = a.chaos_spurious + b.chaos_spurious;
+    chaos_delays = a.chaos_delays + b.chaos_delays;
+    chaos_freezes = a.chaos_freezes + b.chaos_freezes;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf "reads=%d writes=%d dcas=%d/%d fastfail=%d" s.reads
-    s.writes s.dcas_successes s.dcas_attempts s.dcas_fastfails
+    s.writes s.dcas_successes s.dcas_attempts s.dcas_fastfails;
+  (* chaos counters only appear when a fault injector is in play, so
+     the uninjected substrates' reports stay unchanged *)
+  if s.chaos_spurious > 0 || s.chaos_delays > 0 || s.chaos_freezes > 0 then
+    Format.fprintf ppf " chaos=spurious:%d,delay:%d,freeze:%d" s.chaos_spurious
+      s.chaos_delays s.chaos_freezes
 
 module type MEMORY = sig
   (** A linearizable shared memory providing the operations of Section 2:

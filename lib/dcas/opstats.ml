@@ -14,9 +14,10 @@
 
 type bucket = int Atomic.t array
 (* indices: 0 = reads, 1 = writes, 2 = dcas attempts, 3 = dcas
-   successes, 4 = dcas fast-fails *)
+   successes, 4 = dcas fast-fails, 5 = injected spurious failures,
+   6 = injected delays, 7 = injected freezes (5-7 used by Mem_chaos) *)
 
-let bucket_size = 5
+let bucket_size = 8
 
 type t = {
   mutex : Mutex.t;
@@ -50,6 +51,9 @@ let incr_write t = incr (bucket t) 1
 let incr_attempt t = incr (bucket t) 2
 let incr_success t = incr (bucket t) 3
 let incr_fastfail t = incr (bucket t) 4
+let incr_spurious t = incr (bucket t) 5
+let incr_delay t = incr (bucket t) 6
+let incr_freeze t = incr (bucket t) 7
 
 let snapshot t : Memory_intf.stats =
   Mutex.lock t.mutex;
@@ -62,6 +66,9 @@ let snapshot t : Memory_intf.stats =
     dcas_attempts = sum 2;
     dcas_successes = sum 3;
     dcas_fastfails = sum 4;
+    chaos_spurious = sum 5;
+    chaos_delays = sum 6;
+    chaos_freezes = sum 7;
   }
 
 let reset t =

@@ -19,6 +19,15 @@ val incr_fastfail : t -> unit
 (** Count a DCAS/CASN attempt rejected by pre-validation (see
     {!Memory_intf.stats.dcas_fastfails}). *)
 
+val incr_spurious : t -> unit
+(** Count an injected spurious DCAS/CASN failure ({!Mem_chaos}). *)
+
+val incr_delay : t -> unit
+(** Count an injected bounded operation delay ({!Mem_chaos}). *)
+
+val incr_freeze : t -> unit
+(** Count an injected long domain stall ({!Mem_chaos}). *)
+
 val snapshot : t -> Memory_intf.stats
 (** Sum of all domains' counters since creation or the last {!reset}. *)
 

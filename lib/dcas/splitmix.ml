@@ -1,0 +1,29 @@
+(* SplitMix64: a tiny, fast, statistically solid PRNG with a splittable
+   seed, so every worker thread gets an independent deterministic
+   stream — benchmark runs and stress tests are reproducible without
+   any cross-thread RNG state. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A non-negative int uniform below [bound]. *)
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Derive an independent stream; used to hand each worker its own
+   generator from one master seed. *)
+let split t = { state = next_int64 t }

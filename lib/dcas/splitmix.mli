@@ -1,0 +1,15 @@
+(** SplitMix64 deterministic PRNG with splittable streams. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+val int : t -> bound:int -> int
+(** Uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** An independent stream derived from [t]'s state. *)

@@ -1,15 +1,7 @@
-(** SplitMix64 deterministic PRNG with splittable streams. *)
+(** SplitMix64 deterministic PRNG with splittable streams.
 
-type t
+    The implementation lives in {!Dcas.Splitmix} (the fault-injection
+    substrate needs it below the harness layer); this module re-exports
+    it under the historical [Harness.Splitmix] path. *)
 
-val create : seed:int -> t
-val next_int64 : t -> int64
-
-val int : t -> bound:int -> int
-(** Uniform in [\[0, bound)].
-    @raise Invalid_argument if [bound <= 0]. *)
-
-val bool : t -> bool
-
-val split : t -> t
-(** An independent stream derived from [t]'s state. *)
+include module type of Dcas.Splitmix with type t = Dcas.Splitmix.t

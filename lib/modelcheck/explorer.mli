@@ -53,6 +53,15 @@ val pretty_history :
   (int Spec.Op.op, int Spec.Op.res) Spec.History.entry array -> string
 (** Render a run's history for reports and debugging. *)
 
+val schedule_of_decisions : (int list * int) list -> int list
+(** Thread ids in execution order, from a run's (reversed) decision
+    stack. *)
+
+val check_history : Scenario.t -> run_report -> (unit, string) result
+(** Check a completed run against the sequential deque oracle — the
+    shared linearizability obligation of the DFS explorer and the
+    randomized fuzzer. *)
+
 val explore :
   ?max_steps:int ->
   ?max_schedules:int ->

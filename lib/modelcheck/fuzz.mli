@@ -1,0 +1,77 @@
+(** Probabilistic schedule fuzzing: randomized schedules over the same
+    effect-based runner and linearizability oracle as the DFS
+    {!Explorer}, for windows too large to enumerate.
+
+    Two schedule families:
+    - {!Uniform}: each step runs a uniformly random enabled thread;
+    - {!Pct}[ d]: probabilistic concurrency testing — random distinct
+      thread priorities, the highest-priority enabled thread always
+      runs, and [d - 1] random change points demote the running thread
+      below everyone else.  Finds any bug of preemption depth [d] with
+      probability at least [1 / (n * k^(d-1))] per run.
+
+    A failing run is minimized (threads dropped, scripts shortened,
+    schedule truncated and canonicalized toward lowest-thread-first)
+    and reported with a replay token that reproduces the shrunk failure
+    byte-for-byte via {!replay}. *)
+
+type strategy = Uniform | Pct of int  (** change-point depth, [>= 1] *)
+
+type failure = {
+  schedule : int list;  (** thread ids, in execution order, as replayed *)
+  reason : string;
+  pretty_history : string;  (** empty when the run died before completing *)
+}
+
+type counterexample = {
+  threads : int Spec.Op.op list array;  (** shrunk per-thread scripts *)
+  failure : failure;
+  token : string;  (** replay token for {!replay} / [--replay] *)
+  found_at : int;  (** 1-based index of the first failing run *)
+  shrink_accepts : int;  (** candidates accepted during minimization *)
+}
+
+type report = {
+  budget : int;  (** runs requested *)
+  executed : int;  (** runs actually performed (= found_at on failure) *)
+  strategy : strategy;
+  seed : int;
+  violation : counterexample option;
+}
+
+val run :
+  ?max_steps:int ->
+  ?shrink:bool ->
+  runs:int ->
+  seed:int ->
+  strategy:strategy ->
+  Scenario.t ->
+  report
+(** Draw [runs] random schedules; stop at the first violation and
+    (unless [shrink:false]) minimize it.  Deterministic in [seed]. *)
+
+val token_of : int Spec.Op.op list array -> int list -> string
+(** [dqf1/<scripts>/<schedule>]: scripts are ["|"]-separated,
+    comma-joined {!Spec.Op.to_token} forms; the schedule is a
+    ["."]-separated thread-id list. *)
+
+val parse_token :
+  string -> (int Spec.Op.op list array * int list, string) result
+
+val replay :
+  ?max_steps:int ->
+  Scenario.t ->
+  token:string ->
+  (int Spec.Op.op list array * failure option, string) result
+(** Re-execute a token against [scenario] (its [threads] are replaced
+    by the token's scripts; name, prefill, setup and instantiation are
+    taken from the scenario).  [Ok (threads, Some f)] reproduces the
+    failure; [Ok (threads, None)] means the run passed. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Stable report format, pinned by [test/cram/fuzz.t]. *)
+
+val pp_failure :
+  Format.formatter -> int Spec.Op.op list array * failure * string -> unit
+(** [(threads, failure, token)] — the body shared by fuzz and replay
+    reports: reason, scripts, schedule, history, token. *)

@@ -29,6 +29,9 @@ let stats () : Dcas.Memory_intf.stats =
     dcas_attempts = !dcas_attempts;
     dcas_successes = !dcas_successes;
     dcas_fastfails = 0;
+    chaos_spurious = 0;
+    chaos_delays = 0;
+    chaos_freezes = 0;
   }
 
 let reset_stats () =

@@ -35,6 +35,14 @@ module List_dummy_model = Deque.List_deque_dummy.Make (Mem_model)
 module List_casn_model = Deque.List_deque_casn.Make (Mem_model)
 module Greenwald_v2_model = Baselines.Greenwald_v2.Make (Mem_model)
 module Greenwald_v1_model = Baselines.Greenwald_v1.Make (Mem_model)
+module Buggy_model = Buggy_deque.Make (Mem_model)
+
+(* The list deque over a fault-injecting model memory: chaos sits
+   between the algorithm and the yielding model cells, so the explorer
+   still controls the interleaving while spurious DCAS failures and
+   stalls are woven into each schedule. *)
+module Chaos_model = Dcas.Mem_chaos.Make (Mem_model)
+module List_chaos_model = Deque.List_deque.Make (Chaos_model)
 
 let apply_via push_right push_left pop_right pop_left d (op : int Spec.Op.op) :
     int Spec.Op.res =
@@ -109,6 +117,27 @@ let list_deque_casn ?(setup = []) ~name ~prefill threads =
           List_casn_model.pop_right List_casn_model.pop_left d,
         Some (fun () -> List_casn_model.check_invariant d),
         Some (dump_ints List_casn_model.unsafe_to_list d) ))
+
+let list_deque_buggy ?(setup = []) ~name ~prefill threads =
+  build ~name ~capacity:None ~prefill ~setup ~threads ~make_instance:(fun () ->
+      let d = Buggy_model.make () in
+      ( apply_via Buggy_model.push_right Buggy_model.push_left
+          Buggy_model.pop_right Buggy_model.pop_left d,
+        None,
+        Some (dump_ints Buggy_model.unsafe_to_list d) ))
+
+let list_deque_chaos ?(fail_prob = 0.1) ?(chaos_seed = 0xC0FFEE) ?(setup = [])
+    ~name ~prefill threads =
+  build ~name ~capacity:None ~prefill ~setup ~threads ~make_instance:(fun () ->
+      (* re-arming per instance restarts the fault streams, so every
+         schedule the explorer replays sees the same fault sequence
+         for the same interleaving prefix — exploration stays sound *)
+      Chaos_model.configure ~fail_prob ~seed:chaos_seed ();
+      let d = List_chaos_model.make () in
+      ( apply_via List_chaos_model.push_right List_chaos_model.push_left
+          List_chaos_model.pop_right List_chaos_model.pop_left d,
+        Some (fun () -> List_chaos_model.check_invariant d),
+        Some (dump_ints List_chaos_model.unsafe_to_list d) ))
 
 let greenwald_v2 ?(setup = []) ~name ~length ~prefill threads =
   build ~name ~capacity:(Some length) ~prefill ~setup ~threads

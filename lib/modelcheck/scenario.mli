@@ -55,6 +55,30 @@ val list_deque_casn :
   int Spec.Op.op list list ->
   t
 
+val list_deque_buggy :
+  ?setup:int Spec.Op.op list ->
+  name:string ->
+  prefill:int list ->
+  int Spec.Op.op list list ->
+  t
+(** The deliberately broken list deque of {!Buggy_deque}: the pop's
+    claiming DCAS drops the logical-delete bit.  The fuzzer must find a
+    linearizability violation here; the correct deques must survive the
+    same budget. *)
+
+val list_deque_chaos :
+  ?fail_prob:float ->
+  ?chaos_seed:int ->
+  ?setup:int Spec.Op.op list ->
+  name:string ->
+  prefill:int list ->
+  int Spec.Op.op list list ->
+  t
+(** The (correct) list deque over a {!Dcas.Mem_chaos}-wrapped model
+    memory: every explored schedule additionally sees seeded spurious
+    DCAS failures at rate [fail_prob].  Fault streams restart from
+    [chaos_seed] at every instantiation, keeping exploration sound. *)
+
 val greenwald_v1 :
   ?setup:int Spec.Op.op list ->
   name:string ->

@@ -25,6 +25,29 @@ let pp_res pp_v ppf = function
   | Empty -> Format.fprintf ppf "empty"
   | Got v -> Format.fprintf ppf "%a" pp_v v
 
+(* The compact operation DSL shared by the explorer CLI and the fuzzer's
+   replay tokens: pr:V / pl:V for pushes, qr / ql for pops. *)
+
+let to_token = function
+  | Push_right v -> "pr:" ^ string_of_int v
+  | Push_left v -> "pl:" ^ string_of_int v
+  | Pop_right -> "qr"
+  | Pop_left -> "ql"
+
+let of_token tok =
+  match String.split_on_char ':' tok with
+  | [ "qr" ] -> Ok Pop_right
+  | [ "ql" ] -> Ok Pop_left
+  | [ "pr"; v ] -> (
+      match int_of_string_opt v with
+      | Some v -> Ok (Push_right v)
+      | None -> Error ("bad value in " ^ tok))
+  | [ "pl"; v ] -> (
+      match int_of_string_opt v with
+      | Some v -> Ok (Push_left v)
+      | None -> Error ("bad value in " ^ tok))
+  | _ -> Error ("unknown op " ^ tok)
+
 (* Well-formedness of a result for an operation, independent of state:
    pushes answer Okay/Full, pops answer Got/Empty. *)
 let res_matches_op op res =

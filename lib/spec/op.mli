@@ -19,3 +19,10 @@ val pp_res :
 val res_matches_op : 'a op -> 'b res -> bool
 (** Shape-level well-formedness: is [res] a possible answer for [op],
     regardless of state? *)
+
+val to_token : int op -> string
+(** Render in the compact DSL of the explorer CLI and the fuzzer's
+    replay tokens: [pr:V], [pl:V], [qr], [ql]. *)
+
+val of_token : string -> (int op, string) result
+(** Inverse of {!to_token}. *)

@@ -1,0 +1,65 @@
+Schedule fuzzing is a deterministic function of the seed, so its
+failure report — including the shrunk counterexample and the replay
+token — is stable output.
+
+PCT fuzzing finds the planted linearizability bug (the pop that drops
+the logical-delete bit), shrinks it to the two-pop counterexample, and
+exits 1.
+
+  $ ../../bin/explore.exe --algo list-broken --prefill 1,2 --thread qr,qr --thread ql --pct 200 --seed 7
+  FUZZ VIOLATION (run 22/200, pct depth=3, seed 7, 5 shrink steps)
+  reason: history is not linearizable
+  threads: qr,qr | (idle)
+  schedule: 0 0 0 0 0 0 0 1
+  history:
+  [t0    0-   1] popRight() -> 2
+  [t0    2-   3] popRight() -> empty
+  replay: dqf1/qr,qr|/0.0.0.0.0.0.0.1
+  [1]
+
+
+The replay token reproduces the identical failing schedule,
+byte-for-byte, without any searching.
+
+  $ ../../bin/explore.exe --algo list-broken --prefill 1,2 --replay 'dqf1/qr,qr|/0.0.0.0.0.0.0.1'
+  REPLAY VIOLATION
+  reason: history is not linearizable
+  threads: qr,qr | (idle)
+  schedule: 0 0 0 0 0 0 0 1
+  history:
+  [t0    0-   1] popRight() -> 2
+  [t0    2-   3] popRight() -> empty
+  replay: dqf1/qr,qr|/0.0.0.0.0.0.0.1
+  [1]
+
+
+The same schedule is fine on the correct deque: the bug lives in the
+algorithm, not the script.
+
+  $ ../../bin/explore.exe --algo list --prefill 1,2 --replay 'dqf1/qr,qr|/0.0.0.0.0.0.0.1'
+  replay ok: schedule passed
+
+And the same fuzzing budget finds nothing on the correct deques — with
+or without injected DCAS faults.
+
+  $ ../../bin/explore.exe --algo list --prefill 1,2 --thread qr,qr --thread ql --pct 200 --seed 7
+  fuzz ok: no violation in 200 runs (pct depth=3, seed 7)
+
+  $ ../../bin/explore.exe --algo list-chaos --chaos-fail 0.15 --prefill 1,2 --thread qr,pr:3 --thread ql --fuzz 100 --seed 9
+  fuzz ok: no violation in 100 runs (uniform, seed 9)
+
+The uniform walk also finds the planted bug.
+
+  $ ../../bin/explore.exe --algo list-broken --prefill 1,2 --thread qr,qr --thread ql --fuzz 500 --seed 3 > /dev/null
+  [1]
+
+Test tiers: the multi-domain stress binary SKIPs every case unless
+DCAS_SLOW_TESTS=1 unlocks the slow tier (grep exits 1 because nothing
+but SKIPs are found).
+
+  $ ../test_stress.exe test "tight capacity" 0 2> /dev/null | grep -c '\[OK\]'
+  0
+  [1]
+
+  $ DCAS_SLOW_TESTS=1 ../test_stress.exe test "tight capacity" 0 2> /dev/null | grep -c '\[OK\]'
+  1

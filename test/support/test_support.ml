@@ -130,12 +130,36 @@ let qcheck_sequential ?(count = 200) ?(capacity = 8) impl =
       | Ok () -> true
       | Error e -> QCheck2.Test.fail_report e)
 
+(* --- Test tiers --- *)
+
+(* [dune runtest] runs the fast tier only; setting DCAS_SLOW_TESTS=1
+   (any value other than "", "0" or "false") unlocks the multi-domain
+   stress tier.  Gated cases report as SKIP rather than silently
+   vanishing, so the fast tier still shows what it did not run. *)
+let slow_enabled =
+  match Sys.getenv_opt "DCAS_SLOW_TESTS" with
+  | None | Some "" | Some "0" | Some "false" -> false
+  | Some _ -> true
+
+let tiered name speed f =
+  Alcotest.test_case name speed (fun () ->
+      if slow_enabled then f () else Alcotest.skip ())
+
+(* Re-raise with the run's seed on stderr, so a failing randomized
+   stress run can be replayed with DCAS_STRESS_SEED=<seed>. *)
+let with_seed_report ~seed f () =
+  try f ()
+  with e ->
+    Printf.eprintf "\n*** replay this run with DCAS_STRESS_SEED=%d ***\n%!"
+      seed;
+    raise e
+
 (* --- Multi-domain stress --- *)
 
 (* Every pushed value is unique (tid, seq); after the run, the popped
    sets and the remainder must partition the pushed set.  Hash tables
    are per-thread so recording is race-free. *)
-let stress_conservation impl ~threads ~iters ~capacity () =
+let stress_conservation ?seed impl ~threads ~iters ~capacity () =
   let h = impl.fresh ~capacity in
   let popped : (int, unit) Hashtbl.t array =
     Array.init threads (fun _ -> Hashtbl.create 1024)
@@ -145,7 +169,7 @@ let stress_conservation impl ~threads ~iters ~capacity () =
   in
   let encode tid seq = (tid * 10_000_000) + seq in
   let _elapsed =
-    Harness.Runner.run_fixed ~threads ~iters (fun ~tid ~rng ~i ->
+    Harness.Runner.run_fixed ?seed ~threads ~iters (fun ~tid ~rng ~i ->
         match Harness.Splitmix.int rng ~bound:4 with
         | 0 ->
             if h.apply (Op.Push_right (encode tid i)) = Op.Okay then

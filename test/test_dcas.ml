@@ -192,13 +192,18 @@ let strong_view_test (module M : MEM) () =
   Domain.join w;
   Alcotest.(check int) "atomic failing views" 0 (Atomic.get violations)
 
+(* slow tier: multi-domain cases SKIP unless DCAS_SLOW_TESTS=1 *)
 let concurrent_tests (module M : MEM) =
   [
-    Alcotest.test_case (M.name ^ ": transfer conservation") `Slow
+    Test_support.tiered
+      (M.name ^ ": transfer conservation")
+      `Slow
       (transfer_test (module M));
-    Alcotest.test_case (M.name ^ ": snapshot equality") `Slow
+    Test_support.tiered (M.name ^ ": snapshot equality") `Slow
       (snapshot_test (module M));
-    Alcotest.test_case (M.name ^ ": strong failing view") `Slow
+    Test_support.tiered
+      (M.name ^ ": strong failing view")
+      `Slow
       (strong_view_test (module M));
   ]
 
@@ -226,7 +231,7 @@ let casn_tests =
         match M.casn [ M.Cass (a, 1, 2); M.Cass (a, 1, 3) ] with
         | _ -> Alcotest.fail "expected Invalid_argument"
         | exception Invalid_argument _ -> ());
-    Alcotest.test_case "casn: concurrent conservation" `Slow (fun () ->
+    Test_support.tiered "casn: concurrent conservation" `Slow (fun () ->
         (* four counters, transfers across a random pair via casn *)
         let locs = Array.init 4 (fun _ -> M.make 100) in
         let worker seed () =
@@ -391,6 +396,67 @@ let fastfail_matches_reference =
           lr = sr && L.get la = S.get sa && L.get lb = S.get sb)
         ops)
 
+(* qcheck: Mem_striped agrees with Mem_seq on arbitrary single-threaded
+   op sequences (set / dcas over five locations).  The striped model's
+   only behavioral risk is lock-ordering over the hashed stripes, so
+   the generator biases toward dcas pairs that collide and retries in
+   both orders. *)
+let striped_matches_seq =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (array_size (return 5) (int_bound 9))
+        (list_size (1 -- 40)
+           (frequency
+              [
+                (1, map2 (fun i v -> `Set (i, v)) (int_bound 4) (int_bound 9));
+                ( 4,
+                  map2
+                    (fun ((i, dj), (o1, o2)) (n1, n2) ->
+                      `Dcas (i, (i + 1 + dj) mod 5, o1, o2, n1, n2))
+                    (pair
+                       (pair (int_bound 4) (int_bound 3))
+                       (pair (int_bound 9) (int_bound 9)))
+                    (pair (int_bound 9) (int_bound 9)) );
+              ])))
+  in
+  let print (init, ops) =
+    Printf.sprintf "init=[%s] ops=[%s]"
+      (String.concat ";" (Array.to_list (Array.map string_of_int init)))
+      (String.concat ";"
+         (List.map
+            (function
+              | `Set (i, v) -> Printf.sprintf "set(%d,%d)" i v
+              | `Dcas (i, j, o1, o2, n1, n2) ->
+                  Printf.sprintf "dcas(%d,%d:%d,%d->%d,%d)" i j o1 o2 n1 n2)
+            ops))
+  in
+  QCheck2.Test.make
+    ~name:"striped model agrees with sequential reference" ~count:500 ~print
+    gen (fun (init, ops) ->
+      let module T = Dcas.Mem_striped in
+      let module S = Dcas.Mem_seq in
+      let ts = Array.map (fun v -> T.make v) init in
+      let ss = Array.map (fun v -> S.make v) init in
+      let agree () =
+        Array.for_all2 (fun t s -> T.get t = S.get s) ts ss
+      in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Set (i, v) ->
+              T.set ts.(i) v;
+              S.set ss.(i) v;
+              true
+          | `Dcas (i, j, o1, o2, n1, n2) ->
+              let tr = T.dcas ts.(i) ts.(j) o1 o2 n1 n2 in
+              let sr = S.dcas ss.(i) ss.(j) o1 o2 n1 n2 in
+              let tok, tv1, tv2 = T.dcas_strong ts.(i) ts.(j) o1 o2 n1 n2 in
+              let sok, sv1, sv2 = S.dcas_strong ss.(i) ss.(j) o1 o2 n1 n2 in
+              tr = sr && tok = sok && tv1 = sv1 && tv2 = sv2)
+          && agree ())
+        ops)
+
 (* --- per-domain stats plumbing --- *)
 
 let opstats_tests =
@@ -502,6 +568,7 @@ let misc_tests =
         Alcotest.(check int) "writes zero" 0 s.writes);
     QCheck_alcotest.to_alcotest casn_matches_reference;
     QCheck_alcotest.to_alcotest fastfail_matches_reference;
+    QCheck_alcotest.to_alcotest striped_matches_seq;
   ]
 
 let () =

@@ -266,6 +266,81 @@ let test_replay_deterministic () =
   Alcotest.(check int) "identical step counts" a.Modelcheck.Explorer.steps
     b.Modelcheck.Explorer.steps
 
+(* --- run_schedule edge cases --- *)
+
+(* Frozen threads must never appear in an enabled set, never execute an
+   operation, and must not stop the others from completing. *)
+let test_frozen_never_scheduled () =
+  let scenario =
+    Modelcheck.Scenario.list_deque ~name:"frozen" ~prefill:[ 1; 2 ]
+      [ [ Pop_right ]; [ Pop_left; Push_left 9 ] ]
+  in
+  let report =
+    Modelcheck.Explorer.run_schedule scenario
+      ~frozen:(fun i -> i = 1)
+      ~decide:(fun _ enabled -> List.length enabled - 1)
+  in
+  List.iter
+    (fun (enabled, _) ->
+      if List.mem 1 enabled then
+        Alcotest.fail "frozen thread appeared in an enabled set")
+    report.Modelcheck.Explorer.decisions;
+  Array.iter
+    (fun e ->
+      if e.Spec.History.thread = 1 then
+        Alcotest.fail "frozen thread executed an operation")
+    report.Modelcheck.Explorer.history;
+  Alcotest.(check int) "only thread 0's op completed" 1
+    (Array.length report.Modelcheck.Explorer.history)
+
+(* Step_limit fires when the schedule *exceeds* max_steps: a budget of
+   exactly the run's length completes, one less raises. *)
+let test_step_limit_boundary () =
+  let scenario =
+    Modelcheck.Scenario.list_deque ~name:"steps" ~prefill:[ 1 ]
+      [ [ Pop_right ]; [ Push_left 5 ] ]
+  in
+  let decide depth enabled = depth mod List.length enabled in
+  let full = Modelcheck.Explorer.run_schedule scenario ~decide in
+  let s = full.Modelcheck.Explorer.steps in
+  let exact = Modelcheck.Explorer.run_schedule ~max_steps:s scenario ~decide in
+  Alcotest.(check int) "budget = steps completes" s
+    exact.Modelcheck.Explorer.steps;
+  match Modelcheck.Explorer.run_schedule ~max_steps:(s - 1) scenario ~decide with
+  | _ -> Alcotest.fail "expected Step_limit"
+  | exception Modelcheck.Explorer.Step_limit -> ()
+
+(* The Invariant_violation payload is the scenario's own message,
+   verbatim — both from run_schedule and through explore's report. *)
+let test_invariant_message () =
+  let scenario : Modelcheck.Scenario.t =
+    {
+      name = "inv-msg";
+      capacity = None;
+      initial = [];
+      threads = [| [ Pop_right ] |];
+      instantiate =
+        (fun () ->
+          {
+            Modelcheck.Scenario.apply = (fun _ -> Empty);
+            invariant = Some (fun () -> Error "custom-message-42");
+            dump = None;
+          });
+    }
+  in
+  (match
+     Modelcheck.Explorer.run_schedule scenario ~decide:(fun _ _ -> 0)
+   with
+  | _ -> Alcotest.fail "expected Invariant_violation"
+  | exception Modelcheck.Explorer.Invariant_violation msg ->
+      Alcotest.(check string) "verbatim payload" "custom-message-42" msg);
+  match (Modelcheck.Explorer.explore scenario).error with
+  | None -> Alcotest.fail "explore missed the violation"
+  | Some f ->
+      Alcotest.(check string)
+        "explore's reason carries the message"
+        "invariant violated: custom-message-42" f.Modelcheck.Explorer.reason
+
 let () =
   Alcotest.run "modelcheck"
     [
@@ -310,5 +385,14 @@ let () =
         [
           Alcotest.test_case "replay is deterministic" `Quick
             test_replay_deterministic;
+        ] );
+      ( "run_schedule edge cases",
+        [
+          Alcotest.test_case "frozen threads never scheduled" `Quick
+            test_frozen_never_scheduled;
+          Alcotest.test_case "step limit fires exactly at max_steps" `Quick
+            test_step_limit_boundary;
+          Alcotest.test_case "invariant violation carries the message" `Quick
+            test_invariant_message;
         ] );
     ]

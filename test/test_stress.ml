@@ -2,7 +2,24 @@
    implementation: unique values in, the popped sets and the remainder
    must exactly partition the pushed set (no loss, no duplication, no
    invention), and the representation invariants must hold at
-   quiescence. *)
+   quiescence.
+
+   The whole binary is in the slow tier: cases SKIP under a plain
+   [dune runtest] and run with DCAS_SLOW_TESTS=1.  Each invocation
+   draws a fresh Splitmix seed (printed on failure); set
+   DCAS_STRESS_SEED=<n> to replay a failing run deterministically. *)
+
+let stress_seed =
+  match Sys.getenv_opt "DCAS_STRESS_SEED" with
+  | Some s when String.trim s <> "" -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v -> v
+      | None -> failwith ("DCAS_STRESS_SEED is not an integer: " ^ s))
+  | _ ->
+      (* time-derived: different interleavings every CI run, replayable
+         via the seed printed on failure *)
+      Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e6))
+      land 0x3FFF_FFFF
 
 let array_impl (module A : Deque.Array_deque.ALGORITHM) : Test_support.impl =
   {
@@ -67,12 +84,13 @@ let impls : Test_support.impl list =
   ]
 
 let stress_case threads iters capacity (impl : Test_support.impl) =
-  Alcotest.test_case
+  Test_support.tiered
     (Printf.sprintf "%s: %d threads x %d ops (cap %d)" impl.impl_name threads
        iters capacity)
     `Slow
-    (fun () ->
-      Test_support.stress_conservation impl ~threads ~iters ~capacity ())
+    (Test_support.with_seed_report ~seed:stress_seed (fun () ->
+         Test_support.stress_conservation ~seed:stress_seed impl ~threads
+           ~iters ~capacity ()))
 
 (* A tight-capacity run maximizes boundary traffic (full/empty churn);
    a roomy run maximizes successful operations. *)
@@ -83,7 +101,10 @@ let wide = List.map (stress_case 8 3_000 64) impls
 (* Two-end dedicated traffic: pushers on the left, poppers on the
    right, checking FIFO-ish flow under the paper's headline usage. *)
 let two_end_pipeline (impl : Test_support.impl) =
-  Alcotest.test_case (impl.impl_name ^ ": two-end pipeline") `Slow (fun () ->
+  Test_support.tiered
+    (impl.impl_name ^ ": two-end pipeline")
+    `Slow
+    (fun () ->
       let h = impl.fresh ~capacity:1024 in
       let produced = Atomic.make 0 and consumed = Atomic.make 0 in
       let n = 20_000 in
