@@ -63,8 +63,8 @@ let ints_conv =
         Format.fprintf ppf "%s" (String.concat "," (List.map string_of_int xs))
     )
 
-let scenario_of ~algo ~length ~prefill ~setup ~chaos_fail ~chaos_seed ~threads
-    =
+let scenario_of ~algo ~length ~prefill ~setup ~chaos_fail ~chaos_freeze
+    ~chaos_freeze_spins ~chaos_seed ~threads =
   let threads = if threads = [] then [ [ Spec.Op.Pop_right ] ] else threads in
   match algo with
   | "array" ->
@@ -103,14 +103,36 @@ let scenario_of ~algo ~length ~prefill ~setup ~chaos_fail ~chaos_seed ~threads
            threads)
   | "list-chaos" ->
       Ok
-        (Modelcheck.Scenario.list_deque_chaos ~fail_prob:chaos_fail ~chaos_seed
-           ~name:"cli" ~prefill ~setup threads)
+        (Modelcheck.Scenario.list_deque_chaos ~fail_prob:chaos_fail
+           ~freeze_prob:chaos_freeze ~freeze_spins:chaos_freeze_spins
+           ~chaos_seed ~name:"cli" ~prefill ~setup threads)
   | other -> Error ("unknown algorithm: " ^ other)
 
+(* Injected-fault counters for the run summary (list-chaos only; the
+   other algorithms never touch the chaos substrate). *)
+let print_chaos_summary ~algo =
+  if algo = "list-chaos" then begin
+    let s = Modelcheck.Scenario.chaos_stats () in
+    Printf.printf "chaos: spurious=%d delays=%d frozen-ops=%d\n%!"
+      s.Dcas.Memory_intf.chaos_spurious s.Dcas.Memory_intf.chaos_delays
+      s.Dcas.Memory_intf.chaos_freezes
+  end
+
 let run_fuzz scenario ~runs ~seed ~strategy ~shrink =
-  let report = Modelcheck.Fuzz.run ~shrink ~runs ~seed ~strategy scenario in
+  (* The watchdog converts a hung schedule (e.g. a planted livelock
+     reached under fault injection) into a diagnostic on stderr and a
+     distinct exit code instead of a silent CI timeout. *)
+  let watchdog = Harness.Watchdog.create ~stall_after:10. ~threads:1 () in
+  let report =
+    Modelcheck.Fuzz.run ~watchdog ~shrink ~runs ~seed ~strategy scenario
+  in
   Format.printf "%a@." Modelcheck.Fuzz.pp_report report;
-  match report.Modelcheck.Fuzz.violation with None -> 0 | Some _ -> 1
+  if Harness.Watchdog.fired watchdog then begin
+    Printf.eprintf "watchdog: %d stall episode(s) during fuzzing\n%!"
+      (Harness.Watchdog.stalls watchdog);
+    3
+  end
+  else match report.Modelcheck.Fuzz.violation with None -> 0 | Some _ -> 1
 
 let run_replay scenario token =
   match Modelcheck.Fuzz.replay scenario ~token with
@@ -126,15 +148,18 @@ let run_replay scenario token =
       1
 
 let run algo length prefill setup threads sample seed victim max_schedules
-    fuzz pct depth no_shrink replay chaos_fail chaos_seed =
+    fuzz pct depth no_shrink replay chaos_fail chaos_freeze chaos_freeze_spins
+    chaos_seed =
   match
-    scenario_of ~algo ~length ~prefill ~setup ~chaos_fail ~chaos_seed ~threads
+    scenario_of ~algo ~length ~prefill ~setup ~chaos_fail ~chaos_freeze
+      ~chaos_freeze_spins ~chaos_seed ~threads
   with
   | Error e ->
       prerr_endline e;
       2
-  | Ok scenario -> (
-      match (victim, replay, pct, fuzz, sample) with
+  | Ok scenario ->
+      let code =
+        match (victim, replay, pct, fuzz, sample) with
       | Some v, _, _, _, _ -> (
           match Modelcheck.Explorer.check_nonblocking scenario ~victim:v with
           | Ok n ->
@@ -163,7 +188,10 @@ let run algo length prefill setup threads sample seed victim max_schedules
           Format.printf "%a@." Modelcheck.Explorer.pp_outcome outcome;
           match outcome.Modelcheck.Explorer.error with
           | None -> 0
-          | Some _ -> 1))
+          | Some _ -> 1)
+      in
+      print_chaos_summary ~algo;
+      code
 
 let algo =
   Arg.(
@@ -255,6 +283,20 @@ let chaos_fail =
     & info [ "chaos-fail" ] ~docv:"P"
         ~doc:"list-chaos: spurious DCAS failure probability.")
 
+let chaos_freeze =
+  Arg.(
+    value & opt float 0.
+    & info [ "chaos-freeze" ] ~docv:"P"
+        ~doc:
+          "list-chaos: probability of a bounded freeze at each \
+           shared-memory access point.")
+
+let chaos_freeze_spins =
+  Arg.(
+    value & opt int 8
+    & info [ "chaos-freeze-spins" ] ~docv:"N"
+        ~doc:"list-chaos: spins burned by each injected freeze.")
+
 let chaos_seed =
   Arg.(
     value & opt int 0xC0FFEE
@@ -281,6 +323,6 @@ let cmd =
     Term.(
       const run $ algo $ length $ prefill $ setup $ threads $ sample $ seed
       $ victim $ max_schedules $ fuzz $ pct $ depth $ no_shrink $ replay
-      $ chaos_fail $ chaos_seed)
+      $ chaos_fail $ chaos_freeze $ chaos_freeze_spins $ chaos_seed)
 
 let () = exit (Cmd.eval' cmd)

@@ -3,21 +3,29 @@
      dune exec bin/stress.exe -- --impl list-lockfree --threads 4 \
          --duration 2 --mix balanced
 
-   Prints throughput and, for implementations over the lock-free DCAS
-   substrate, the DCAS attempt/success counters accumulated during the
-   run. *)
+   Prints throughput, per-thread fairness (starvation) figures and, for
+   implementations over the lock-free DCAS substrate, the DCAS
+   attempt/success counters accumulated during the run.
+
+   A progress watchdog (--watchdog SEC, default 10s, 0 disables)
+   monitors the workers' completed-op counters on a separate domain:
+   if nothing progresses for that long, it dumps a diagnostic snapshot
+   (per-thread op counts, substrate counters) to stderr and the run
+   exits with code 3 — a stalled structure becomes a report, not a CI
+   timeout. *)
 
 open Cmdliner
 
 type impl = {
   name : string;
   run :
+    watchdog:Harness.Watchdog.t option ->
     threads:int ->
     duration:float ->
     mix:Harness.Workload.mix ->
     capacity:int ->
     prefill:int ->
-    float;
+    Harness.Runner.result;
 }
 
 let make_impl (type t) name ~(create : capacity:int -> unit -> t)
@@ -28,7 +36,7 @@ let make_impl (type t) name ~(create : capacity:int -> unit -> t)
   {
     name;
     run =
-      (fun ~threads ~duration ~mix ~capacity ~prefill ->
+      (fun ~watchdog ~threads ~duration ~mix ~capacity ~prefill ->
         let d = create ~capacity () in
         for i = 1 to prefill do
           match
@@ -37,17 +45,14 @@ let make_impl (type t) name ~(create : capacity:int -> unit -> t)
           | `Okay -> ()
           | `Full -> invalid_arg "prefill exceeds capacity"
         done;
-        let r =
-          Harness.Runner.run ~threads ~duration (fun ~tid ~rng ->
-              ignore
-                (Harness.Workload.apply
-                   ~push_right:(fun v -> push_right d v)
-                   ~push_left:(fun v -> push_left d v)
-                   ~pop_right:(fun () -> pop_right d)
-                   ~pop_left:(fun () -> pop_left d)
-                   mix rng tid))
-        in
-        Harness.Runner.throughput r);
+        Harness.Runner.run ?watchdog ~threads ~duration (fun ~tid ~rng ->
+            ignore
+              (Harness.Workload.apply
+                 ~push_right:(fun v -> push_right d v)
+                 ~push_left:(fun v -> push_left d v)
+                 ~pop_right:(fun () -> pop_right d)
+                 ~pop_left:(fun () -> pop_left d)
+                 mix rng tid)));
   }
 
 let impls : impl list =
@@ -82,6 +87,13 @@ let impls : impl list =
       ~create:(fun ~capacity:_ () -> D.make ~recycle:true ())
       ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
       ~pop_left:D.pop_left);
+    (let module P = Deque.Policy.Make (Deque.Array_deque.Lockfree) in
+    make_impl "array-policy-spill"
+      ~create:(fun ~capacity () -> P.create ~full:Deque.Policy.Spill ~capacity ())
+      ~push_right:(fun d v -> P.push_simple d ~side:`Right v)
+      ~push_left:(fun d v -> P.push_simple d ~side:`Left v)
+      ~pop_right:(fun d -> P.pop_simple d ~side:`Right)
+      ~pop_left:(fun d -> P.pop_simple d ~side:`Left));
     (let module D = Baselines.Lock_deque in
     make_impl "lock"
       ~create:(fun ~capacity () -> D.create ~capacity ())
@@ -107,7 +119,7 @@ let mix_of = function
   | "lifo" -> Ok Harness.Workload.lifo_right
   | m -> Error ("unknown mix: " ^ m)
 
-let run impl_name threads duration mix_name capacity prefill =
+let run impl_name threads duration mix_name capacity prefill watchdog_s =
   match
     ( List.find_opt (fun i -> i.name = impl_name) impls,
       mix_of mix_name )
@@ -121,15 +133,31 @@ let run impl_name threads duration mix_name capacity prefill =
       2
   | Some impl, Ok mix ->
       Dcas.Mem_lockfree.reset_stats ();
-      let tp = impl.run ~threads ~duration ~mix ~capacity ~prefill in
+      let watchdog =
+        if watchdog_s <= 0. then None
+        else
+          Some
+            (Harness.Watchdog.create ~stall_after:watchdog_s
+               ~stats:(fun () -> Dcas.Mem_lockfree.stats ())
+               ~threads ())
+      in
+      let r = impl.run ~watchdog ~threads ~duration ~mix ~capacity ~prefill in
       Printf.printf "%s: %s ops/s (%d threads, %.1fs, mix %s)\n" impl.name
-        (Harness.Table.ops_per_sec tp)
+        (Harness.Table.ops_per_sec (Harness.Runner.throughput r))
         threads duration mix_name;
+      Printf.printf "fairness: %s\n"
+        (Format.asprintf "%a" Harness.Metrics.Starvation.pp
+           (Harness.Metrics.Starvation.of_counts r.Harness.Runner.per_thread));
       let s = Dcas.Mem_lockfree.stats () in
       if s.Dcas.Memory_intf.dcas_attempts > 0 then
         Printf.printf "lock-free substrate: %s\n"
           (Format.asprintf "%a" Dcas.Memory_intf.pp_stats s);
-      0
+      (match watchdog with
+      | Some w when Harness.Watchdog.fired w ->
+          Printf.eprintf "watchdog fired %d time(s); failing the run\n"
+            (Harness.Watchdog.stalls w);
+          3
+      | Some _ | None -> 0)
 
 let impl_arg =
   Arg.(
@@ -155,10 +183,20 @@ let capacity =
 let prefill =
   Arg.(value & opt int 512 & info [ "prefill"; "p" ] ~docv:"N" ~doc:"Initial items.")
 
+let watchdog_s =
+  Arg.(
+    value & opt float 10.
+    & info [ "watchdog"; "w" ] ~docv:"SEC"
+        ~doc:
+          "Fail with a diagnostic (exit 3) if no worker completes an \
+           operation for SEC seconds; 0 disables.")
+
 let cmd =
   let doc = "multi-domain deque throughput" in
   Cmd.v
     (Cmd.info "stress" ~doc)
-    Term.(const run $ impl_arg $ threads $ duration $ mix $ capacity $ prefill)
+    Term.(
+      const run $ impl_arg $ threads $ duration $ mix $ capacity $ prefill
+      $ watchdog_s)
 
 let () = exit (Cmd.eval' cmd)

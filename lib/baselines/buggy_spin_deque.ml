@@ -1,0 +1,115 @@
+(* A deliberately BLOCKING deque: the planted target for the empirical
+   lock-freedom validator (E19).
+
+   Operations are serialized by a strict turn-passing protocol: the
+   [turn] word names the only participant allowed to operate, and each
+   completed operation hands the turn to the next participant
+   round-robin.  The protocol is perfectly fair, starvation-free under
+   a fair scheduler — and catastrophically NOT non-blocking: if any
+   participant stops (is frozen, descheduled, or crashes) while the
+   protocol expects it to act, every other participant spins forever
+   waiting for a turn that never comes.  There is no helping and no
+   work-around path, by construction.
+
+   This is precisely the failure mode the paper's Section 1 motivates
+   lock-free structures against, in its most honest form: no lock is
+   held, no mutex is involved, every wait is a busy-wait on shared
+   memory — yet one stopped process stops the world.  The empirical
+   lock-freedom test (test_lockfree.ml) must flag this structure while
+   passing the four DCAS deques; the progress watchdog must convert its
+   stall into a diagnostic report.
+
+   All cross-thread synchronization flows through [M], so the freezer's
+   instrumented memory sees every access point.  The element storage is
+   a plain ring buffer touched only by the turn holder (the turn
+   hand-off orders those accesses). *)
+
+module Make (M : Dcas.Memory_intf.MEMORY) = struct
+  type 'a t = {
+    turn : int M.loc;
+    participants : int;
+    ring : 'a option array;
+    (* ring indices, only ever touched by the turn holder *)
+    mutable left : int;  (* first occupied cell, when size > 0 *)
+    mutable size : int;
+  }
+
+  let name = "buggy-spin/" ^ M.name
+
+  let make ~participants ~capacity () =
+    if participants < 1 then
+      invalid_arg "Buggy_spin_deque.make: participants must be >= 1";
+    if capacity < 1 then
+      invalid_arg "Buggy_spin_deque.make: capacity must be >= 1";
+    {
+      turn = M.make 0;
+      participants;
+      ring = Array.make capacity None;
+      left = 0;
+      size = 0;
+    }
+
+  (* Busy-wait for our turn; every probe is a shared-memory access
+     point.  This is the planted liveness bug: there is no bound on the
+     number of probes and no alternative path. *)
+  let await t ~tid =
+    while M.get t.turn <> tid do
+      Domain.cpu_relax ()
+    done
+
+  let pass t ~tid = M.set t.turn ((tid + 1) mod t.participants)
+
+  let with_turn t ~tid f =
+    await t ~tid;
+    let r = f () in
+    pass t ~tid;
+    r
+
+  let capacity t = Array.length t.ring
+
+  let push_right t ~tid v : Deque.Deque_intf.push_result =
+    with_turn t ~tid (fun () ->
+        if t.size = capacity t then `Full
+        else begin
+          t.ring.((t.left + t.size) mod capacity t) <- Some v;
+          t.size <- t.size + 1;
+          `Okay
+        end)
+
+  let push_left t ~tid v : Deque.Deque_intf.push_result =
+    with_turn t ~tid (fun () ->
+        if t.size = capacity t then `Full
+        else begin
+          t.left <- (t.left + capacity t - 1) mod capacity t;
+          t.ring.(t.left) <- Some v;
+          t.size <- t.size + 1;
+          `Okay
+        end)
+
+  let pop_left t ~tid : 'a Deque.Deque_intf.pop_result =
+    with_turn t ~tid (fun () ->
+        if t.size = 0 then `Empty
+        else begin
+          let v = Option.get t.ring.(t.left) in
+          t.ring.(t.left) <- None;
+          t.left <- (t.left + 1) mod capacity t;
+          t.size <- t.size - 1;
+          `Value v
+        end)
+
+  let pop_right t ~tid : 'a Deque.Deque_intf.pop_result =
+    with_turn t ~tid (fun () ->
+        if t.size = 0 then `Empty
+        else begin
+          let i = (t.left + t.size - 1) mod capacity t in
+          let v = Option.get t.ring.(i) in
+          t.ring.(i) <- None;
+          t.size <- t.size - 1;
+          `Value v
+        end)
+
+  (* Quiescent-only. *)
+  let unsafe_to_list t =
+    List.init t.size (fun i ->
+        Option.get t.ring.((t.left + i) mod capacity t))
+end

@@ -1,0 +1,31 @@
+(** A deliberately BLOCKING deque — the planted target for the
+    empirical lock-freedom validator (E19).
+
+    Operations are serialized by strict round-robin turn passing over a
+    shared [turn] word: fair under a fair scheduler, and not
+    non-blocking in the strongest sense — one stopped participant
+    stalls every other forever, with no lock held anywhere.  The
+    lock-freedom test must flag this structure while passing the DCAS
+    deques; the progress watchdog must turn its stall into a
+    diagnostic.
+
+    Operations take the calling participant's [tid] (in
+    [0, participants)); each participant must be driven by exactly one
+    thread. *)
+
+module Make (M : Dcas.Memory_intf.MEMORY) : sig
+  type 'a t
+
+  val name : string
+
+  val make : participants:int -> capacity:int -> unit -> 'a t
+  (** @raise Invalid_argument if [participants < 1] or [capacity < 1]. *)
+
+  val push_right : 'a t -> tid:int -> 'a -> Deque.Deque_intf.push_result
+  val push_left : 'a t -> tid:int -> 'a -> Deque.Deque_intf.push_result
+  val pop_right : 'a t -> tid:int -> 'a Deque.Deque_intf.pop_result
+  val pop_left : 'a t -> tid:int -> 'a Deque.Deque_intf.pop_result
+
+  val unsafe_to_list : 'a t -> 'a list
+  (** Quiescent-only. *)
+end

@@ -24,6 +24,27 @@ module Histogram : sig
   (** Upper bound of the bucket containing the given quantile. *)
 end
 
+module Starvation : sig
+  (** Per-thread fairness of a multi-domain run: lock-freedom
+      guarantees system-wide progress, not per-thread fairness, so
+      starvation is measured (E19/E20), not assumed. *)
+
+  type t = {
+    min_ops : int;
+    max_ops : int;
+    mean_ops : float;
+    imbalance : float;  (** (max - min) / mean; 0 = perfectly fair *)
+  }
+
+  val of_counts : int array -> t
+  (** From per-thread operation counts (e.g. {!Runner.result}'s
+      [per_thread]).
+
+      @raise Invalid_argument on an empty array. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
 val throughput : ?duration:float -> (unit -> unit) -> float
 (** Operations per second of [f] run repeatedly in the calling thread
     for ~[duration] seconds (default 0.2). *)

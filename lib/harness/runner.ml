@@ -19,14 +19,23 @@ let throughput r = float_of_int (total r) /. r.elapsed
 (* [run ~threads ~duration body]: each domain evaluates [body ~tid ~rng]
    repeatedly — the body performs ONE logical operation per call — until
    the duration elapses.  [seed] makes the workers' RNG streams
-   reproducible. *)
-let run ?(seed = 0x5EED) ~threads ~duration body =
+   reproducible.  [watchdog], when given, is started for the
+   measurement window and ticked once per body call, so a system-wide
+   stall inside the body surfaces as a diagnostic report instead of a
+   hang; it must have been created with at least [threads] threads and
+   not yet started. *)
+let run ?(seed = 0x5EED) ?watchdog ~threads ~duration body =
   if threads < 1 then invalid_arg "Runner.run: threads must be >= 1";
   let stop = Atomic.make false in
   let started = Atomic.make 0 in
   let per_thread = Array.make threads 0 in
   let master = Splitmix.create ~seed in
   let rngs = Array.init threads (fun _ -> Splitmix.split master) in
+  let tick =
+    match watchdog with
+    | None -> fun ~tid:_ -> ()
+    | Some w -> fun ~tid -> Watchdog.tick w ~tid
+  in
   let worker tid () =
     let rng = rngs.(tid) in
     Atomic.incr started;
@@ -36,6 +45,7 @@ let run ?(seed = 0x5EED) ~threads ~duration body =
     let count = ref 0 in
     while not (Atomic.get stop) do
       body ~tid ~rng;
+      tick ~tid;
       incr count
     done;
     per_thread.(tid) <- !count
@@ -45,21 +55,28 @@ let run ?(seed = 0x5EED) ~threads ~duration body =
   while Atomic.get started < threads do
     Domain.cpu_relax ()
   done;
+  Option.iter Watchdog.start watchdog;
   let t0 = Unix.gettimeofday () in
   Unix.sleepf duration;
   Atomic.set stop true;
   List.iter Domain.join domains;
   let elapsed = Unix.gettimeofday () -. t0 in
+  Option.iter (fun w -> ignore (Watchdog.stop w)) watchdog;
   { per_thread; elapsed }
 
 (* Fixed-iteration variant: every thread performs exactly [iters]
    operations; used where operation counts must balance exactly (e.g.
    conservation checks in stress tests). *)
-let run_fixed ?(seed = 0x5EED) ~threads ~iters body =
+let run_fixed ?(seed = 0x5EED) ?watchdog ~threads ~iters body =
   if threads < 1 then invalid_arg "Runner.run_fixed: threads must be >= 1";
   let started = Atomic.make 0 in
   let master = Splitmix.create ~seed in
   let rngs = Array.init threads (fun _ -> Splitmix.split master) in
+  let tick =
+    match watchdog with
+    | None -> fun ~tid:_ -> ()
+    | Some w -> fun ~tid -> Watchdog.tick w ~tid
+  in
   let worker tid () =
     let rng = rngs.(tid) in
     Atomic.incr started;
@@ -67,13 +84,17 @@ let run_fixed ?(seed = 0x5EED) ~threads ~iters body =
       Domain.cpu_relax ()
     done;
     for i = 1 to iters do
-      body ~tid ~rng ~i
+      body ~tid ~rng ~i;
+      tick ~tid
     done
   in
   let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
   while Atomic.get started < threads do
     Domain.cpu_relax ()
   done;
+  Option.iter Watchdog.start watchdog;
   let t0 = Unix.gettimeofday () in
   List.iter Domain.join domains;
-  Unix.gettimeofday () -. t0
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Option.iter (fun w -> ignore (Watchdog.stop w)) watchdog;
+  elapsed

@@ -16,6 +16,7 @@ val throughput : result -> float
 
 val run :
   ?seed:int ->
+  ?watchdog:Watchdog.t ->
   threads:int ->
   duration:float ->
   (tid:int -> rng:Splitmix.t -> unit) ->
@@ -24,10 +25,17 @@ val run :
     repeatedly until [duration] elapses.  Per-thread RNG streams derive
     deterministically from [seed].
 
+    [watchdog], when given, must be created with at least [threads]
+    threads and not yet started: the runner starts it when the barrier
+    releases, ticks it once per completed body call, and stops it after
+    the workers join — read {!Watchdog.stalls} afterwards to learn
+    whether it fired.
+
     @raise Invalid_argument if [threads < 1]. *)
 
 val run_fixed :
   ?seed:int ->
+  ?watchdog:Watchdog.t ->
   threads:int ->
   iters:int ->
   (tid:int -> rng:Splitmix.t -> i:int -> unit) ->

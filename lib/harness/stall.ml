@@ -1,33 +1,118 @@
-(* Cooperative stall injection for the resilience experiment (E9).
+(* Stall injection for the resilience and liveness experiments (E9,
+   E14, E19).
 
-   The paper's Section 1 motivates non-blocking structures with
-   resilience: a thread preempted in the middle of an operation must
-   not block others.  [Mem_stalling] wraps any memory model so that a
-   thread which has called [request] goes to sleep just before its
-   [after_ops]-th subsequent shared-memory operation — i.e. genuinely
-   in the middle of a deque operation, holding whatever intermediate
-   state the algorithm has published.  For the DCAS deques this is
-   harmless by design (any other thread helps or works around); for the
-   lock-based baseline the equivalent experiment holds the deque's
-   mutex across the same sleep, stopping the world.
+   Two mechanisms share the same instrumentation point (a check before
+   every shared-memory operation):
 
-   The request is domain-local, so a staller thread only ever stalls
-   itself. *)
+   - {e cooperative self-stalls} ([request]): a thread arranges to go
+     to sleep just before its [after_ops]-th subsequent shared-memory
+     operation — i.e. genuinely in the middle of a deque operation,
+     holding whatever intermediate state the algorithm has published.
+     The request is domain-local, so a staller only ever stalls itself.
+
+   - {e adversarial cross-domain freezes} ([Freezer]): a controller
+     thread suspends enrolled victim domains at their next
+     shared-memory access point and releases them later.  Unlike
+     [Mem_chaos]'s bounded freezes, a frozen domain stays parked until
+     it is thawed, which is exactly the paper's Section 1 "stopped
+     process": with up to [threads - 1] domains frozen mid-operation, a
+     lock-free structure must let the survivors keep completing
+     operations, while anything blocking (a lock holder, a turn-passing
+     protocol) stalls system-wide.  The controller chooses {e when} to
+     set the flag; the victim parks at whatever access point it reaches
+     next, so repeated freeze/thaw cycles sample random points inside
+     operations.
+
+   For the DCAS deques both mechanisms are harmless by design (any
+   other thread helps or works around); for the lock-based baseline the
+   equivalent experiment holds the deque's mutex across the same sleep,
+   stopping the world. *)
 
 type pending = { mutable countdown : int; mutable duration : float }
 
 let key : pending Domain.DLS.key =
   Domain.DLS.new_key (fun () -> { countdown = -1; duration = 0. })
 
+(* A new request overwrites any pending one: requests do not nest or
+   queue, each domain has at most one armed stall at a time.  See the
+   .mli. *)
 let request ~after_ops ~duration =
   if after_ops < 1 then invalid_arg "Stall.request: after_ops must be >= 1";
+  if not (duration >= 0.) (* also rejects NaN *) then
+    invalid_arg "Stall.request: duration must be >= 0";
   let p = Domain.DLS.get key in
   p.countdown <- after_ops;
   p.duration <- duration
 
+(* Idempotent: cancelling with nothing pending is a no-op. *)
 let cancel () =
   let p = Domain.DLS.get key in
   p.countdown <- -1
+
+let pending () = (Domain.DLS.get key).countdown > 0
+
+(* --- Cross-domain freezer --- *)
+
+module Freezer = struct
+  (* Slots are dense worker ids (the runner's [tid]), not domain ids:
+     tests freeze "worker 1 and 2 of 3".  Fixed capacity keeps the
+     check on the hot path an array load; 64 comfortably exceeds any
+     worker count the harness spawns. *)
+  let max_slots = 64
+
+  let flags = Array.init max_slots (fun _ -> Dcas.Padding.make_atomic false)
+  let parked = Array.init max_slots (fun _ -> Dcas.Padding.make_atomic false)
+  let hits = Array.init max_slots (fun _ -> Dcas.Padding.make_atomic 0)
+
+  let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+  let check_tid ~who tid =
+    if tid < 0 || tid >= max_slots then
+      invalid_arg
+        (Printf.sprintf "Stall.Freezer.%s: tid must be in [0, %d)" who
+           max_slots)
+
+  let enroll ~tid =
+    check_tid ~who:"enroll" tid;
+    Domain.DLS.set slot_key tid
+
+  let leave () = Domain.DLS.set slot_key (-1)
+
+  let freeze ~tid =
+    check_tid ~who:"freeze" tid;
+    Atomic.set flags.(tid) true
+
+  let thaw ~tid =
+    check_tid ~who:"thaw" tid;
+    Atomic.set flags.(tid) false
+
+  let thaw_all () = Array.iter (fun f -> Atomic.set f false) flags
+
+  let frozen_now () =
+    Array.fold_left (fun n p -> if Atomic.get p then n + 1 else n) 0 parked
+
+  let freeze_hits () =
+    Array.fold_left (fun n h -> n + Atomic.get h) 0 hits
+
+  let reset () =
+    thaw_all ();
+    Array.iter (fun h -> Atomic.set h 0) hits;
+    Array.iter (fun p -> Atomic.set p false) parked
+
+  (* The victim side: park while this domain's flag is up.  Checked at
+     every instrumented shared-memory access, so the park lands inside
+     whatever operation the victim is executing. *)
+  let point () =
+    let tid = Domain.DLS.get slot_key in
+    if tid >= 0 && Atomic.get flags.(tid) then begin
+      Atomic.incr hits.(tid);
+      Atomic.set parked.(tid) true;
+      while Atomic.get flags.(tid) do
+        Domain.cpu_relax ()
+      done;
+      Atomic.set parked.(tid) false
+    end
+end
 
 (* Called by the instrumented memory before every shared operation. *)
 let point () =
@@ -38,11 +123,12 @@ let point () =
       p.countdown <- -1;
       Unix.sleepf p.duration
     end
-  end
+  end;
+  Freezer.point ()
 
-(* A memory model that checks for a pending stall before each shared
-   operation, then delegates.  Same loc type as the wrapped model, so
-   structures built over it are otherwise identical. *)
+(* A memory model that checks for a pending stall or freeze before each
+   shared operation, then delegates.  Same loc type as the wrapped
+   model, so structures built over it are otherwise identical. *)
 module Mem_stalling (M : Dcas.Memory_intf.MEMORY) :
   Dcas.Memory_intf.MEMORY with type 'a loc = 'a M.loc = struct
   type 'a loc = 'a M.loc
@@ -71,4 +157,18 @@ module Mem_stalling (M : Dcas.Memory_intf.MEMORY) :
 
   let stats = M.stats
   let reset_stats = M.reset_stats
+end
+
+(* CASN-capable variant, so the 3CAS deque (and anything composed with
+   Mem_chaos, which is CASN-shaped) runs under the same
+   instrumentation. *)
+module Mem_stalling_casn (M : Dcas.Memory_intf.MEMORY_CASN) :
+  Dcas.Memory_intf.MEMORY_CASN with type 'a loc = 'a M.loc = struct
+  include Mem_stalling (M)
+
+  type cass = M.cass = Cass : 'a M.loc * 'a * 'a -> cass
+
+  let casn cs =
+    point ();
+    M.casn cs
 end

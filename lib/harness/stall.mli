@@ -1,22 +1,83 @@
-(** Cooperative stall injection for the resilience experiments (E9,
-    E14): a thread arranges to fall asleep in the middle of its own
-    next operation — after a chosen number of shared-memory accesses —
-    via the {!Mem_stalling} instrumented memory.
-
-    Requests are domain-local: a staller only ever stalls itself. *)
+(** Stall injection for the resilience and liveness experiments (E9,
+    E14, E19): cooperative self-stalls (a thread arranges to fall
+    asleep in the middle of its own next operation) and adversarial
+    cross-domain freezes (a controller suspends victim domains at their
+    next shared-memory access point until thawed), both delivered
+    through the {!Mem_stalling} / {!Mem_stalling_casn} instrumented
+    memories. *)
 
 val request : after_ops:int -> duration:float -> unit
 (** Arrange for the calling domain to sleep [duration] seconds just
     before its [after_ops]-th subsequent shared-memory operation.
 
-    @raise Invalid_argument if [after_ops < 1]. *)
+    Requests are domain-local (a staller only ever stalls itself) and
+    do not nest or queue: each domain has at most one armed stall, and
+    a new [request] overwrites any pending one — the earlier countdown
+    is discarded, not resumed after the new stall fires.
+
+    @raise Invalid_argument if [after_ops < 1] or [duration] is
+    negative (or NaN). *)
 
 val cancel : unit -> unit
+(** Discard the calling domain's pending stall request, if any.
+    Idempotent: cancelling with nothing pending is a no-op. *)
+
+val pending : unit -> bool
+(** Whether the calling domain has an armed stall request. *)
 
 val point : unit -> unit
 (** Called by the instrumented memory before every shared operation;
-    sleeps if this domain's pending request has counted down. *)
+    sleeps if this domain's pending request has counted down, then
+    parks while this domain is frozen by the {!Freezer}. *)
+
+(** Adversarial cross-domain freezing: the empirical form of the
+    paper's "stopped process".  Victim domains [enroll] under a dense
+    worker id; a controller [freeze]s a victim, which then parks at its
+    next instrumented shared-memory access — i.e. mid-operation,
+    holding whatever intermediate state the algorithm has published —
+    until [thaw]ed.  Lock-free structures must let the surviving
+    domains keep completing operations with up to [threads - 1]
+    victims frozen; blocking ones stall system-wide (see E19 and
+    [test_lockfree.ml]). *)
+module Freezer : sig
+  val max_slots : int
+  (** Capacity of the worker-id space (ids are [0 .. max_slots - 1]). *)
+
+  val enroll : tid:int -> unit
+  (** Register the calling domain as victim [tid].  Freezes are
+      per-id: only enrolled domains ever park.
+
+      @raise Invalid_argument if [tid] is outside [0, max_slots). *)
+
+  val leave : unit -> unit
+  (** Un-enroll the calling domain (it will no longer park). *)
+
+  val freeze : tid:int -> unit
+  (** Raise victim [tid]'s freeze flag; it parks at its next
+      instrumented shared-memory access and stays parked until thawed. *)
+
+  val thaw : tid:int -> unit
+  (** Release victim [tid]. *)
+
+  val thaw_all : unit -> unit
+
+  val frozen_now : unit -> int
+  (** Number of domains currently parked at a freeze point. *)
+
+  val freeze_hits : unit -> int
+  (** Total number of park events since the last {!reset}. *)
+
+  val reset : unit -> unit
+  (** Thaw everyone and zero the counters.  Call between experiments;
+      does not un-enroll domains. *)
+end
 
 module Mem_stalling (M : Dcas.Memory_intf.MEMORY) :
   Dcas.Memory_intf.MEMORY with type 'a loc = 'a M.loc
 (** [M] with a {!point} check before every shared operation. *)
+
+module Mem_stalling_casn (M : Dcas.Memory_intf.MEMORY_CASN) :
+  Dcas.Memory_intf.MEMORY_CASN with type 'a loc = 'a M.loc
+(** Like {!Mem_stalling} but preserving [casn], so the 3CAS deque and
+    {!Dcas.Mem_chaos}-composed substrates run under the same
+    instrumentation. *)

@@ -1,0 +1,66 @@
+(** Progress watchdog: a monitor domain samples per-thread operation
+    counters and converts a system-wide stall (no progress anywhere for
+    [stall_after] seconds) into a diagnostic snapshot instead of a CI
+    hang.
+
+    The watchdog observes; it cannot unblock stuck domains.  Workers
+    call {!tick} once per completed operation (a padded atomic
+    increment) and optionally {!note} the operation they are about to
+    run (an unsynchronized write; the monitor's read is racy by design
+    and only feeds the diagnostic).  One report is emitted per stall
+    episode; renewed progress re-arms the detector.  See E19 and the
+    wiring in {!Runner}, [bin/stress.ml] and {!Modelcheck.Fuzz}. *)
+
+type snapshot = {
+  waited : float;  (** seconds since the last observed progress *)
+  total : int;  (** operations completed system-wide *)
+  per_thread : int array;
+  last_op : string array;  (** last {!note}d op per thread; "" if none *)
+  stats : Dcas.Memory_intf.stats option;
+      (** memory substrate counters, when a [stats] thunk was given *)
+}
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+type t
+
+val create :
+  ?interval:float ->
+  ?stall_after:float ->
+  ?stats:(unit -> Dcas.Memory_intf.stats) ->
+  ?on_stall:(snapshot -> unit) ->
+  threads:int ->
+  unit ->
+  t
+(** A watchdog over [threads] per-thread counters.  The monitor samples
+    every [interval] seconds (default 0.02) and calls [on_stall]
+    (default: print to stderr) when no counter has moved for
+    [stall_after] seconds (default 1.0).
+
+    @raise Invalid_argument if [threads < 1], [interval <= 0] or
+    [stall_after <= 0]. *)
+
+val tick : t -> tid:int -> unit
+(** One operation completed by worker [tid]. *)
+
+val note : t -> tid:int -> string -> unit
+(** Record the operation worker [tid] is about to run, for the
+    diagnostic snapshot. *)
+
+val start : t -> unit
+(** Spawn the monitor domain.
+
+    @raise Invalid_argument if already running. *)
+
+val stop : t -> int
+(** Shut the monitor down (no-op if not running) and return the number
+    of stall episodes reported. *)
+
+val stalls : t -> int
+(** Stall episodes reported so far. *)
+
+val fired : t -> bool
+(** [stalls t > 0]. *)
+
+val total : t -> int
+(** Operations ticked so far, summed over threads. *)

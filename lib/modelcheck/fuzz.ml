@@ -316,8 +316,8 @@ let minimize ~max_steps scenario (f0 : failure) =
 
 (* --- the fuzz loop --- *)
 
-let run ?(max_steps = 100_000) ?(shrink = true) ~runs ~seed ~strategy scenario
-    =
+let run ?(max_steps = 100_000) ?(shrink = true) ?watchdog ~runs ~seed
+    ~strategy scenario =
   let master = Harness.Splitmix.create ~seed in
   let n = Array.length scenario.Scenario.threads in
   let horizon =
@@ -332,12 +332,32 @@ let run ?(max_steps = 100_000) ?(shrink = true) ~runs ~seed ~strategy scenario
         if depth < 1 then invalid_arg "Fuzz.run: Pct depth must be >= 1";
         pct_decide rng ~n ~depth ~horizon
   in
+  (* The fuzz loop itself runs on the calling domain; the watchdog
+     (when given) ticks once per executed schedule, so a run that
+     livelocks inside the structure under test — below the explorer's
+     step accounting — still surfaces as a diagnostic. *)
+  let tick k =
+    match watchdog with
+    | None -> ()
+    | Some w ->
+        Harness.Watchdog.note w ~tid:0 (Printf.sprintf "fuzz run %d" k);
+        Harness.Watchdog.tick w ~tid:0
+  in
+  Option.iter Harness.Watchdog.start watchdog;
+  let finally () =
+    Option.iter (fun w -> ignore (Harness.Watchdog.stop w)) watchdog
+  in
+  Fun.protect ~finally @@ fun () ->
   let rec go k =
     if k > runs then
       { budget = runs; executed = runs; strategy; seed; violation = None }
     else
       let rng = Harness.Splitmix.split master in
-      match run_one ~max_steps scenario (mk_decide rng) with
+      match
+        let r = run_one ~max_steps scenario (mk_decide rng) in
+        tick k;
+        r
+      with
       | None -> go (k + 1)
       | Some f ->
           let threads, failure, shrink_accepts =

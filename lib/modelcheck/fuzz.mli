@@ -42,13 +42,18 @@ type report = {
 val run :
   ?max_steps:int ->
   ?shrink:bool ->
+  ?watchdog:Harness.Watchdog.t ->
   runs:int ->
   seed:int ->
   strategy:strategy ->
   Scenario.t ->
   report
 (** Draw [runs] random schedules; stop at the first violation and
-    (unless [shrink:false]) minimize it.  Deterministic in [seed]. *)
+    (unless [shrink:false]) minimize it.  Deterministic in [seed].
+    [watchdog], when given (created with [threads:1], not started), is
+    started for the loop and ticked once per executed schedule, so a
+    livelock inside the structure under test surfaces as a diagnostic
+    instead of a hang. *)
 
 val token_of : int Spec.Op.op list array -> int list -> string
 (** [dqf1/<scripts>/<schedule>]: scripts are ["|"]-separated,

@@ -126,13 +126,16 @@ let list_deque_buggy ?(setup = []) ~name ~prefill threads =
         None,
         Some (dump_ints Buggy_model.unsafe_to_list d) ))
 
-let list_deque_chaos ?(fail_prob = 0.1) ?(chaos_seed = 0xC0FFEE) ?(setup = [])
-    ~name ~prefill threads =
+let chaos_stats () = Chaos_model.stats ()
+
+let list_deque_chaos ?(fail_prob = 0.1) ?(freeze_prob = 0.) ?(freeze_spins = 8)
+    ?(chaos_seed = 0xC0FFEE) ?(setup = []) ~name ~prefill threads =
   build ~name ~capacity:None ~prefill ~setup ~threads ~make_instance:(fun () ->
       (* re-arming per instance restarts the fault streams, so every
          schedule the explorer replays sees the same fault sequence
          for the same interleaving prefix — exploration stays sound *)
-      Chaos_model.configure ~fail_prob ~seed:chaos_seed ();
+      Chaos_model.configure ~fail_prob ~freeze_prob ~freeze_spins
+        ~seed:chaos_seed ();
       let d = List_chaos_model.make () in
       ( apply_via List_chaos_model.push_right List_chaos_model.push_left
           List_chaos_model.pop_right List_chaos_model.pop_left d,

@@ -68,6 +68,8 @@ val list_deque_buggy :
 
 val list_deque_chaos :
   ?fail_prob:float ->
+  ?freeze_prob:float ->
+  ?freeze_spins:int ->
   ?chaos_seed:int ->
   ?setup:int Spec.Op.op list ->
   name:string ->
@@ -76,8 +78,14 @@ val list_deque_chaos :
   t
 (** The (correct) list deque over a {!Dcas.Mem_chaos}-wrapped model
     memory: every explored schedule additionally sees seeded spurious
-    DCAS failures at rate [fail_prob].  Fault streams restart from
-    [chaos_seed] at every instantiation, keeping exploration sound. *)
+    DCAS failures at rate [fail_prob] and, with [freeze_prob] > 0,
+    bounded freezes of [freeze_spins] spins at shared-memory access
+    points (default 0 / 8).  Fault streams restart from [chaos_seed] at
+    every instantiation, keeping exploration sound. *)
+
+val chaos_stats : unit -> Dcas.Memory_intf.stats
+(** Cumulative counters of the chaos substrate behind
+    {!list_deque_chaos} ([chaos_spurious], [chaos_freezes], ...). *)
 
 val greenwald_v1 :
   ?setup:int Spec.Op.op list ->

@@ -47,6 +47,14 @@ or without injected DCAS faults.
 
   $ ../../bin/explore.exe --algo list-chaos --chaos-fail 0.15 --prefill 1,2 --thread qr,pr:3 --thread ql --fuzz 100 --seed 9
   fuzz ok: no violation in 100 runs (uniform, seed 9)
+  chaos: spurious=200 delays=0 frozen-ops=0
+
+Bounded freezes at shared-memory access points (--chaos-freeze) compose
+with the spurious failures; the run summary counts the frozen ops.
+
+  $ ../../bin/explore.exe --algo list-chaos --chaos-fail 0.15 --chaos-freeze 0.05 --prefill 1,2 --thread qr,pr:3 --thread ql --fuzz 100 --seed 9
+  fuzz ok: no violation in 100 runs (uniform, seed 9)
+  chaos: spurious=124 delays=0 frozen-ops=1418
 
 The uniform walk also finds the planted bug.
 

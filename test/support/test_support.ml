@@ -158,8 +158,14 @@ let with_seed_report ~seed f () =
 
 (* Every pushed value is unique (tid, seq); after the run, the popped
    sets and the remainder must partition the pushed set.  Hash tables
-   are per-thread so recording is race-free. *)
-let stress_conservation ?seed impl ~threads ~iters ~capacity () =
+   are per-thread so recording is race-free.
+
+   [per_op ~tid ~i] runs on the worker before each operation — the hook
+   for injecting adversity mid-run (arming {!Harness.Stall} requests,
+   toggling chaos) without forking the conservation machinery.
+   [watchdog] is passed through to the runner. *)
+let stress_conservation ?seed ?watchdog ?(per_op = fun ~tid:_ ~i:_ -> ()) impl
+    ~threads ~iters ~capacity () =
   let h = impl.fresh ~capacity in
   let popped : (int, unit) Hashtbl.t array =
     Array.init threads (fun _ -> Hashtbl.create 1024)
@@ -169,7 +175,9 @@ let stress_conservation ?seed impl ~threads ~iters ~capacity () =
   in
   let encode tid seq = (tid * 10_000_000) + seq in
   let _elapsed =
-    Harness.Runner.run_fixed ?seed ~threads ~iters (fun ~tid ~rng ~i ->
+    Harness.Runner.run_fixed ?seed ?watchdog ~threads ~iters
+      (fun ~tid ~rng ~i ->
+        per_op ~tid ~i;
         match Harness.Splitmix.int rng ~bound:4 with
         | 0 ->
             if h.apply (Op.Push_right (encode tid i)) = Op.Okay then

@@ -138,6 +138,133 @@ let test_runner_fixed () =
   in
   Array.iter (fun c -> Alcotest.(check int) "exact iteration count" 1000 c) hits
 
+(* --- Stall request validation --- *)
+
+let test_stall_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | () -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> Harness.Stall.request ~after_ops:0 ~duration:0.1);
+      (fun () -> Harness.Stall.request ~after_ops:(-3) ~duration:0.1);
+      (fun () -> Harness.Stall.request ~after_ops:1 ~duration:(-0.5));
+      (fun () -> Harness.Stall.request ~after_ops:1 ~duration:Float.nan);
+    ];
+  Alcotest.(check bool) "rejected requests leave nothing pending" false
+    (Harness.Stall.pending ())
+
+let test_stall_cancel_idempotent () =
+  Harness.Stall.cancel ();
+  Harness.Stall.cancel ();
+  Alcotest.(check bool) "nothing pending" false (Harness.Stall.pending ());
+  Harness.Stall.request ~after_ops:1000 ~duration:0.;
+  Alcotest.(check bool) "armed" true (Harness.Stall.pending ());
+  Harness.Stall.cancel ();
+  Alcotest.(check bool) "cancelled" false (Harness.Stall.pending ());
+  Harness.Stall.cancel ();
+  Alcotest.(check bool) "still cancelled" false (Harness.Stall.pending ())
+
+let test_stall_request_overwrites () =
+  (* a second request replaces the first countdown, it does not queue:
+     one point () call later the (new) 1-op request fires, and nothing
+     remains pending *)
+  Harness.Stall.request ~after_ops:1_000_000 ~duration:60.;
+  Harness.Stall.request ~after_ops:1 ~duration:0.;
+  Harness.Stall.point ();
+  Alcotest.(check bool) "single armed slot consumed" false
+    (Harness.Stall.pending ())
+
+(* --- Watchdog --- *)
+
+let test_watchdog_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> Harness.Watchdog.create ~threads:0 ());
+      (fun () -> Harness.Watchdog.create ~interval:0. ~threads:1 ());
+      (fun () -> Harness.Watchdog.create ~stall_after:(-1.) ~threads:1 ());
+    ]
+
+let test_watchdog_quiet_when_progressing () =
+  let w =
+    Harness.Watchdog.create ~interval:0.01 ~stall_after:0.2
+      ~on_stall:(fun _ -> Alcotest.fail "fired despite progress")
+      ~threads:1 ()
+  in
+  Harness.Watchdog.start w;
+  for _ = 1 to 20 do
+    Harness.Watchdog.tick w ~tid:0;
+    Unix.sleepf 0.01
+  done;
+  Alcotest.(check int) "no stalls" 0 (Harness.Watchdog.stop w);
+  Alcotest.(check int) "ticks accounted" 20 (Harness.Watchdog.total w)
+
+let test_watchdog_fires_and_rearms () =
+  let snaps = ref [] in
+  let w =
+    Harness.Watchdog.create ~interval:0.01 ~stall_after:0.05
+      ~on_stall:(fun s -> snaps := s :: !snaps)
+      ~threads:2 ()
+  in
+  Harness.Watchdog.note w ~tid:0 "first-stall";
+  Harness.Watchdog.start w;
+  let wait_for_stalls n =
+    let deadline = Unix.gettimeofday () +. 5. in
+    while Harness.Watchdog.stalls w < n && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.01
+    done
+  in
+  wait_for_stalls 1;
+  Alcotest.(check bool) "fired" true (Harness.Watchdog.fired w);
+  (* progress re-arms the detector; a second stall is a new episode *)
+  Harness.Watchdog.tick w ~tid:1;
+  wait_for_stalls 2;
+  Alcotest.(check int) "two episodes" 2 (Harness.Watchdog.stop w);
+  match List.rev !snaps with
+  | first :: _ ->
+      Alcotest.(check bool) "waited at least the threshold" true
+        (first.Harness.Watchdog.waited >= 0.05);
+      Alcotest.(check int) "two counters" 2
+        (Array.length first.Harness.Watchdog.per_thread);
+      Alcotest.(check string) "noted op surfaces" "first-stall"
+        first.Harness.Watchdog.last_op.(0)
+  | [] -> Alcotest.fail "no snapshot captured"
+
+let test_watchdog_double_start_rejected () =
+  let w = Harness.Watchdog.create ~threads:1 () in
+  Harness.Watchdog.start w;
+  Alcotest.(check bool) "second start rejected" true
+    (match Harness.Watchdog.start w with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  ignore (Harness.Watchdog.stop w);
+  ignore (Harness.Watchdog.stop w) (* stop is a no-op when not running *)
+
+(* --- Starvation metrics --- *)
+
+let test_starvation () =
+  let s = Harness.Metrics.Starvation.of_counts [| 100; 100; 100 |] in
+  Alcotest.(check int) "min" 100 s.Harness.Metrics.Starvation.min_ops;
+  Alcotest.(check int) "max" 100 s.Harness.Metrics.Starvation.max_ops;
+  Alcotest.(check (float 1e-9)) "fair" 0. s.Harness.Metrics.Starvation.imbalance;
+  let s = Harness.Metrics.Starvation.of_counts [| 0; 200; 100 |] in
+  Alcotest.(check int) "min" 0 s.Harness.Metrics.Starvation.min_ops;
+  Alcotest.(check int) "max" 200 s.Harness.Metrics.Starvation.max_ops;
+  Alcotest.(check (float 1e-9)) "imbalance (max-min)/mean" 2.
+    s.Harness.Metrics.Starvation.imbalance;
+  let z = Harness.Metrics.Starvation.of_counts [| 0; 0 |] in
+  Alcotest.(check (float 1e-9)) "all-zero counts are fair" 0.
+    z.Harness.Metrics.Starvation.imbalance;
+  Alcotest.(check bool) "empty rejected" true
+    (match Harness.Metrics.Starvation.of_counts [||] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "harness"
     [
@@ -169,4 +296,25 @@ let () =
           Alcotest.test_case "timed run" `Quick test_runner_counts;
           Alcotest.test_case "fixed run" `Quick test_runner_fixed;
         ] );
+      ( "stall",
+        [
+          Alcotest.test_case "request validation" `Quick test_stall_validation;
+          Alcotest.test_case "cancel idempotent" `Quick
+            test_stall_cancel_idempotent;
+          Alcotest.test_case "request overwrites" `Quick
+            test_stall_request_overwrites;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "create validation" `Quick
+            test_watchdog_validation;
+          Alcotest.test_case "quiet while progressing" `Quick
+            test_watchdog_quiet_when_progressing;
+          Alcotest.test_case "fires and re-arms" `Quick
+            test_watchdog_fires_and_rearms;
+          Alcotest.test_case "double start rejected" `Quick
+            test_watchdog_double_start_rejected;
+        ] );
+      ( "starvation",
+        [ Alcotest.test_case "imbalance" `Quick test_starvation ] );
     ]

@@ -129,6 +129,213 @@ let test_real_stall_lock () =
     true
     (!worker_latency >= sleep *. 0.5)
 
+(* --- E19: empirical lock-freedom under cross-domain freezes --- *)
+
+(* The adversary made executable on real domains: K = threads-1 worker
+   domains are frozen at shared-memory access points mid-operation (via
+   Stall.Freezer through the instrumented memory, composed with
+   Mem_chaos so spurious DCAS failures land on the survivors too), and
+   the one surviving domain must keep completing operations — the
+   operational content of Theorems 3.1/4.1's non-blocking half.  The
+   turn-passing Buggy_spin_deque must fail this test: its survivor
+   blocks, and the progress watchdog converts the global stall into a
+   diagnostic instead of a hang. *)
+
+module Freeze_chaos = Dcas.Mem_chaos.Make (Dcas.Mem_lockfree)
+module Freeze_mem = Harness.Stall.Mem_stalling_casn (Freeze_chaos)
+module F_array = Deque.Array_deque.Make (Freeze_mem)
+module F_list = Deque.List_deque.Make (Freeze_mem)
+module F_dummy = Deque.List_deque_dummy.Make (Freeze_mem)
+module F_casn = Deque.List_deque_casn.Make (Freeze_mem)
+module F_buggy = Baselines.Buggy_spin_deque.Make (Freeze_mem)
+
+let survivor_ops = 1_000
+
+(* Spawn [threads] workers looping [op]; once everyone has warmed up,
+   freeze workers 1..threads-1, then watch whether worker 0 completes
+   [survivor_ops] more operations within [time_budget] seconds.
+   Returns (survivor progressed?, park events, watchdog stalls). *)
+let run_frozen ?watchdog ~threads ~time_budget op =
+  Harness.Stall.Freezer.reset ();
+  let stop = Atomic.make false in
+  let counts = Array.init threads (fun _ -> Atomic.make 0) in
+  let master = Harness.Splitmix.create ~seed:0xF0E1 in
+  let rngs = Array.init threads (fun _ -> Harness.Splitmix.split master) in
+  let worker tid () =
+    Harness.Stall.Freezer.enroll ~tid;
+    let rng = rngs.(tid) in
+    while not (Atomic.get stop) do
+      op ~tid ~rng;
+      Atomic.incr counts.(tid);
+      Option.iter (fun w -> Harness.Watchdog.tick w ~tid) watchdog
+    done
+  in
+  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  let hard_deadline = Unix.gettimeofday () +. 60. in
+  (* warm-up: every worker has completed operations *)
+  while
+    Array.exists (fun c -> Atomic.get c < 10) counts
+    && Unix.gettimeofday () < hard_deadline
+  do
+    Unix.sleepf 0.002
+  done;
+  for tid = 1 to threads - 1 do
+    Harness.Stall.Freezer.freeze ~tid
+  done;
+  (* every victim parked at an access point mid-operation *)
+  while
+    Harness.Stall.Freezer.frozen_now () < threads - 1
+    && Unix.gettimeofday () < hard_deadline
+  do
+    Unix.sleepf 0.002
+  done;
+  Option.iter Harness.Watchdog.start watchdog;
+  let c0 = Atomic.get counts.(0) in
+  let target = c0 + survivor_ops in
+  let budget_deadline = Unix.gettimeofday () +. time_budget in
+  let fired () =
+    match watchdog with Some w -> Harness.Watchdog.fired w | None -> false
+  in
+  while
+    Atomic.get counts.(0) < target
+    && (not (fired ()))
+    && Unix.gettimeofday () < budget_deadline
+  do
+    Unix.sleepf 0.002
+  done;
+  let progressed = Atomic.get counts.(0) >= target in
+  let parks = Harness.Stall.Freezer.freeze_hits () in
+  Harness.Stall.Freezer.thaw_all ();
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  let stalls =
+    match watchdog with Some w -> Harness.Watchdog.stop w | None -> 0
+  in
+  Harness.Stall.Freezer.reset ();
+  (progressed, parks, stalls)
+
+(* A balanced op mix over both ends, from the worker's own stream. *)
+let mixed_op ~push_right ~push_left ~pop_right ~pop_left ~tid ~rng =
+  match Harness.Splitmix.int rng ~bound:4 with
+  | 0 -> ignore (push_right ((tid * 1_000_000) + Harness.Splitmix.int rng ~bound:1000))
+  | 1 -> ignore (push_left ((tid * 1_000_000) + Harness.Splitmix.int rng ~bound:1000))
+  | 2 -> ignore (pop_right ())
+  | _ -> ignore (pop_left ())
+
+let with_chaos f =
+  (* spurious DCAS/CASN failures land on survivors and victims alike;
+     no chaos delays/freezes — the freezer provides the (unbounded)
+     stalls here *)
+  Freeze_chaos.configure ~fail_prob:0.1 ~seed:0xF0E2 ();
+  Fun.protect ~finally:Freeze_chaos.disarm f
+
+let assert_survives name (progressed, parks, _stalls) ~threads =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: survivor completed %d ops with %d domains frozen"
+       name survivor_ops (threads - 1))
+    true progressed;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: victims actually parked (%d park events)" name parks)
+    true
+    (parks >= threads - 1)
+
+let test_empirical_array () =
+  with_chaos (fun () ->
+      let d = F_array.make ~length:64 () in
+      for i = 1 to 16 do
+        ignore (F_array.push_right d i)
+      done;
+      let threads = 3 in
+      run_frozen ~threads ~time_budget:30. (fun ~tid ~rng ->
+          mixed_op ~tid ~rng
+            ~push_right:(fun v -> F_array.push_right d v)
+            ~push_left:(fun v -> F_array.push_left d v)
+            ~pop_right:(fun () -> F_array.pop_right d)
+            ~pop_left:(fun () -> F_array.pop_left d))
+      |> assert_survives "array" ~threads)
+
+let test_empirical_list () =
+  with_chaos (fun () ->
+      let d = F_list.make () in
+      for i = 1 to 16 do
+        ignore (F_list.push_right d i)
+      done;
+      let threads = 3 in
+      run_frozen ~threads ~time_budget:30. (fun ~tid ~rng ->
+          mixed_op ~tid ~rng
+            ~push_right:(fun v -> F_list.push_right d v)
+            ~push_left:(fun v -> F_list.push_left d v)
+            ~pop_right:(fun () -> F_list.pop_right d)
+            ~pop_left:(fun () -> F_list.pop_left d))
+      |> assert_survives "list" ~threads)
+
+let test_empirical_dummy () =
+  with_chaos (fun () ->
+      let d = F_dummy.make () in
+      for i = 1 to 16 do
+        ignore (F_dummy.push_right d i)
+      done;
+      let threads = 3 in
+      run_frozen ~threads ~time_budget:30. (fun ~tid ~rng ->
+          mixed_op ~tid ~rng
+            ~push_right:(fun v -> F_dummy.push_right d v)
+            ~push_left:(fun v -> F_dummy.push_left d v)
+            ~pop_right:(fun () -> F_dummy.pop_right d)
+            ~pop_left:(fun () -> F_dummy.pop_left d))
+      |> assert_survives "3cas" ~threads)
+
+let test_empirical_casn () =
+  with_chaos (fun () ->
+      let d = F_casn.make () in
+      for i = 1 to 16 do
+        ignore (F_casn.push_right d i)
+      done;
+      let threads = 3 in
+      run_frozen ~threads ~time_budget:30. (fun ~tid ~rng ->
+          mixed_op ~tid ~rng
+            ~push_right:(fun v -> F_casn.push_right d v)
+            ~push_left:(fun v -> F_casn.push_left d v)
+            ~pop_right:(fun () -> F_casn.pop_right d)
+            ~pop_left:(fun () -> F_casn.pop_left d))
+      |> assert_survives "3cas" ~threads)
+
+(* The planted livelock: freezing any participant of the turn-passing
+   deque blocks the survivor, the validator flags it, and the watchdog
+   fires a diagnostic snapshot (captured, not printed) instead of the
+   test hanging. *)
+let test_empirical_buggy_spin () =
+  let threads = 3 in
+  let d = F_buggy.make ~participants:threads ~capacity:64 () in
+  let captured = ref None in
+  let watchdog =
+    Harness.Watchdog.create ~interval:0.02 ~stall_after:0.4
+      ~stats:(fun () -> Freeze_mem.stats ())
+      ~on_stall:(fun s -> captured := Some s)
+      ~threads ()
+  in
+  let progressed, _parks, stalls =
+    run_frozen ~watchdog ~threads ~time_budget:10. (fun ~tid ~rng ->
+        mixed_op ~tid ~rng
+          ~push_right:(fun v -> F_buggy.push_right d ~tid v)
+          ~push_left:(fun v -> F_buggy.push_left d ~tid v)
+          ~pop_right:(fun () -> F_buggy.pop_right d ~tid)
+          ~pop_left:(fun () -> F_buggy.pop_left d ~tid))
+  in
+  Alcotest.(check bool)
+    "turn-passing deque blocks when a participant freezes" false progressed;
+  Alcotest.(check bool)
+    (Printf.sprintf "watchdog fired (%d stall episodes)" stalls)
+    true (stalls > 0);
+  match !captured with
+  | None -> Alcotest.fail "watchdog fired but no snapshot captured"
+  | Some s ->
+      Alcotest.(check int)
+        "snapshot covers all threads" threads
+        (Array.length s.Harness.Watchdog.per_thread);
+      Alcotest.(check bool)
+        "snapshot waited at least the stall threshold" true
+        (s.Harness.Watchdog.waited >= 0.4)
+
 let () =
   Alcotest.run "lockfree"
     [
@@ -146,5 +353,15 @@ let () =
             test_real_stall_lockfree;
           Alcotest.test_case "lock deque blocks behind sleeper" `Slow
             test_real_stall_lock;
+        ] );
+      ( "empirical lock-freedom, threads-1 frozen (E19)",
+        [
+          Alcotest.test_case "array deque survives" `Slow test_empirical_array;
+          Alcotest.test_case "list deque survives" `Slow test_empirical_list;
+          Alcotest.test_case "dummy variant survives" `Slow
+            test_empirical_dummy;
+          Alcotest.test_case "casn variant survives" `Slow test_empirical_casn;
+          Alcotest.test_case "turn-passing deque fails, watchdog fires" `Slow
+            test_empirical_buggy_spin;
         ] );
     ]
