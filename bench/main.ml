@@ -75,6 +75,82 @@ let run_selected quick json_file ids =
       close_out oc;
       Printf.printf "wrote %s\n" file
 
+(* E21 carries enough structure to cross-check the perf claims, not
+   just the schema: the allocation-lean substrate must actually
+   allocate less than the generic descriptors op-for-op, batching must
+   actually amortize (k=16 faster and leaner per item than k=1), the
+   histogram quantiles must be ordered, and the batch traffic must
+   conserve items exactly. *)
+let check_e21 rows =
+  let open Harness.Json in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "e21 invariant violated: %s\n" m;
+        exit 1)
+      fmt
+  in
+  let str k r = Option.value ~default:"?" (string_value (member k r)) in
+  let num k r =
+    match number_value (member k r) with
+    | Some v -> v
+    | None -> fail "row lacks numeric %S" k
+  in
+  let int_of k r = int_of_float (num k r) in
+  let section s r = str "section" r = s in
+  let alloc = List.filter (section "alloc") rows in
+  let batch = List.filter (section "batch") rows in
+  if List.length alloc <> 4 then fail "expected 4 alloc rows";
+  if List.length batch <> 6 then fail "expected 6 batch rows";
+  let alloc_row path op =
+    match
+      List.find_opt (fun r -> str "path" r = path && str "op" r = op) alloc
+    with
+    | Some r -> r
+    | None -> fail "missing alloc row %s/%s" path op
+  in
+  List.iter
+    (fun op ->
+      let d = alloc_row "dcas2" op and g = alloc_row "generic" op in
+      if not (num "minor_words_per_op" d < num "minor_words_per_op" g) then
+        fail "dcas2 %s allocates %.1f w/op, generic only %.1f" op
+          (num "minor_words_per_op" d)
+          (num "minor_words_per_op" g);
+      if not (num "dcas2_hits_per_op" d > 0.) then
+        fail "dcas2 %s rows show no dcas2 descriptor hits" op;
+      if num "dcas2_hits_per_op" g <> 0. then
+        fail "generic %s rows show dcas2 hits despite ablation" op)
+    [ "write"; "confirm" ];
+  List.iter
+    (fun r ->
+      if num "p50_ns" r > num "p99_ns" r then
+        fail "batch %s k=%d: p50 %.0fns above p99 %.0fns" (str "path" r)
+          (int_of "k" r) (num "p50_ns" r) (num "p99_ns" r);
+      if int_of "pushed" r <> int_of "popped" r + int_of "remaining" r then
+        fail "batch %s k=%d: %d pushed <> %d popped + %d remaining"
+          (str "path" r) (int_of "k" r) (int_of "pushed" r) (int_of "popped" r)
+          (int_of "remaining" r))
+    batch;
+  let batch_row path k =
+    match
+      List.find_opt (fun r -> str "path" r = path && int_of "k" r = k) batch
+    with
+    | Some r -> r
+    | None -> fail "missing batch row %s/k=%d" path k
+  in
+  List.iter
+    (fun path ->
+      let k1 = batch_row path 1 and k16 = batch_row path 16 in
+      if not (num "ops_per_sec" k16 > num "ops_per_sec" k1) then
+        fail "%s: k=16 (%.0f items/s) not faster than k=1 (%.0f)" path
+          (num "ops_per_sec" k16) (num "ops_per_sec" k1);
+      if not (num "minor_words_per_op" k16 < num "minor_words_per_op" k1) then
+        fail "%s: k=16 (%.1f w/item) not leaner than k=1 (%.1f)" path
+          (num "minor_words_per_op" k16)
+          (num "minor_words_per_op" k1))
+    [ "dcas2"; "generic" ];
+  Printf.printf "e21 invariants: ok\n"
+
 (* Parse a --json document back and print a deterministic summary; the
    cram test uses this as the round-trip check. *)
 let check_json file =
@@ -114,7 +190,8 @@ let check_json file =
                       Printf.eprintf "row in %s lacks ops_per_sec\n" id;
                       exit 1)
                 rows;
-              Printf.printf "%s: %d rows\n" id (List.length rows))
+              Printf.printf "%s: %d rows\n" id (List.length rows);
+              if id = "e21" then check_e21 rows)
         (to_list (member "experiments" doc))
 
 let main quick json_file check ids =
@@ -142,7 +219,7 @@ let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let cmd =
-  let doc = "DCAS deque experiment tables (E1-E17)" in
+  let doc = "DCAS deque experiment tables (E1-E21)" in
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(const main $ quick $ json_file $ check $ ids)

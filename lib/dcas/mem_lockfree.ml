@@ -12,14 +12,28 @@
    undecided descriptor while installing its own helps it to completion
    first, so a stalled thread can never block others.
 
+   Descriptors come in two shapes.  The generic [Casn] carries an
+   entry array and serves any width; the flat [Dcas2] inlines both
+   locations and values into one record — no entry blocks, no array,
+   no per-index bounds checks — and serves the two-location case, which
+   is every deque operation in the paper.  Both run the identical
+   acquire (in ascending location-id order) / decide / release
+   protocol; only the descriptor layout differs, so the linearization
+   argument is unchanged.
+
    Two properties of OCaml make the simple two-phase CASN (without the
    RDCSS sub-protocol of Harris et al.) correct here:
 
-   - every write allocates a fresh [Value] block, and installation uses
-     a physical compare-and-set against the exact state block read in
-     the same attempt, so a stale helper that slept across a complete
-     acquire/decide/release cycle can never re-install its descriptor
-     (the state block it read is no longer current); and
+   - installation uses a physical compare-and-set against the exact
+     state block read in the same attempt, and a state block stays
+     current only while the location's logical value is unchanged:
+     every logical change installs a fresh [Value] block.  A release
+     that would write back the unchanged logical value may reinstall
+     the original block (value elision, below); a stale helper whose
+     physical CAS then succeeds has therefore validated a still-current
+     logical value, and the decided descriptor it installs resolves to
+     that same value, so the re-installation is harmless and is undone
+     by the helper's own release phase; and
 
    - the garbage collector reclaims descriptors, exactly as the paper's
      deques rely on GC to reclaim list nodes (Section 1.1).
@@ -35,9 +49,24 @@ type 'a loc = {
   equal : 'a -> 'a -> bool;
 }
 
-and 'a state = Value of 'a | Owned of { desc : desc; before : 'a; after : 'a }
+and 'a state =
+  | Value of 'a
+  | Owned of { desc : desc; before : 'a; after : 'a; orig : 'a state }
+      (* [orig] is the [Value] block this acquisition displaced; release
+         reinstalls it when the logical value comes out unchanged *)
 
-and desc = { status : status Atomic.t; entries : entry array }
+and desc =
+  | Dcas2 : {
+      status : status Atomic.t;
+      loc_a : 'a loc;  (* invariant: loc_a.id < loc_b.id *)
+      before_a : 'a;
+      after_a : 'a;
+      loc_b : 'b loc;
+      before_b : 'b;
+      after_b : 'b;
+    }
+      -> desc
+  | Casn of { status : status Atomic.t; entries : entry array }
 
 and entry = Entry : { loc : 'a loc; before : 'a; after : 'a } -> entry
 
@@ -47,6 +76,17 @@ let name = "lockfree"
 let counters = Opstats.create ()
 let stats () = Opstats.snapshot counters
 let reset_stats () = Opstats.reset counters
+
+(* Ablation switch (experiment E21, tests): with dcas2 disabled, every
+   slow path builds the generic entry-array descriptor and no release
+   is elided — the substrate as it was before specialization.  Not
+   meant to be toggled while operations are in flight. *)
+let dcas2_enabled = Atomic.make true
+let set_dcas2_enabled b = Atomic.set dcas2_enabled b
+
+let status_of = function
+  | Dcas2 { status; _ } -> status
+  | Casn { status; _ } -> status
 
 let next_id =
   let c = Atomic.make 0 in
@@ -62,11 +102,12 @@ let make_padded ?(equal = ( = )) v =
 (* The logical value of a state block, given the owning descriptor's
    current status.  Status is monotonic (Undecided -> Failed/Succeeded,
    then frozen), so reading the state block and then its status yields a
-   linearizable read: see DESIGN.md, lib/dcas notes. *)
+   linearizable read: see DESIGN.md, lib/dcas notes.  On the common
+   already-released [Value] case this allocates nothing. *)
 let resolve : type a. a state -> a = function
   | Value v -> v
-  | Owned { desc; before; after } -> (
-      match Atomic.get desc.status with
+  | Owned { desc; before; after; _ } -> (
+      match Atomic.get (status_of desc) with
       | Succeeded -> after
       | Undecided | Failed -> before)
 
@@ -75,29 +116,58 @@ let get loc =
   resolve (Atomic.get loc.state)
 
 (* Replace a decided descriptor's hold on [loc] with a plain [Value];
-   failure means somebody else already moved the location on. *)
+   failure means somebody else already moved the location on.  When the
+   logical value comes out unchanged — the descriptor failed, or this
+   was a no-op entry such as the array deque's empty/full confirmation
+   — the displaced original block is reinstalled instead of allocating
+   a fresh one (value elision; exact for unboxed values like the deque
+   indices, conservative otherwise via physical equality). *)
 let release_one (type a) (loc : a loc) (cur : a state) =
-  ignore (Atomic.compare_and_set loc.state cur (Value (resolve cur)))
+  match cur with
+  | Value _ -> ()
+  | Owned { before; after; orig; desc } ->
+      let v =
+        match Atomic.get (status_of desc) with
+        | Succeeded -> after
+        | Undecided | Failed -> before
+      in
+      let replacement =
+        match orig with
+        | Value v0 when v0 == v && Atomic.get dcas2_enabled -> orig
+        | Value _ | Owned _ ->
+            Opstats.incr_value_alloc counters;
+            Value v
+      in
+      ignore (Atomic.compare_and_set loc.state cur replacement)
 
 let rec help desc =
-  let n = Array.length desc.entries in
+  match desc with
+  | Casn { status; entries } -> help_casn desc status entries
+  | Dcas2 { status; loc_a; before_a; after_a; loc_b; before_b; after_b } ->
+      help_dcas2 desc status loc_a before_a after_a loc_b before_b after_b
+
+and help_casn desc status entries =
+  let n = Array.length entries in
   let rec acquire i =
-    if i >= n then ignore (Atomic.compare_and_set desc.status Undecided Succeeded)
-    else if Atomic.get desc.status <> Undecided then ()
+    if i >= n then ignore (Atomic.compare_and_set status Undecided Succeeded)
+    else if Atomic.get status <> Undecided then ()
     else
-      let (Entry { loc; before; after }) = desc.entries.(i) in
+      let (Entry { loc; before; after }) = entries.(i) in
       let cur = Atomic.get loc.state in
       match cur with
       | Owned { desc = d; _ } when d == desc -> acquire (i + 1)
       | Owned { desc = d; _ } ->
-          if Atomic.get d.status = Undecided then help d else release_one loc cur;
+          if Atomic.get (status_of d) = Undecided then help d
+          else release_one loc cur;
           acquire i
       | Value v ->
           if loc.equal v before then
-            if Atomic.compare_and_set loc.state cur (Owned { desc; before; after })
+            if
+              Atomic.compare_and_set loc.state cur
+                (Owned { desc; before; after; orig = cur })
             then acquire (i + 1)
             else acquire i
-          else ignore (Atomic.compare_and_set desc.status Undecided Failed)
+          else ignore (Atomic.compare_and_set status Undecided Failed)
   in
   acquire 0;
   (* Eagerly release whatever we still own so later operations on these
@@ -107,14 +177,68 @@ let rec help desc =
       match Atomic.get loc.state with
       | Owned { desc = d; _ } as cur when d == desc -> release_one loc cur
       | Value _ | Owned _ -> ())
-    desc.entries
+    entries
+
+(* The flat two-location protocol: textually the [help_casn] acquire
+   loop unrolled for entries 0 and 1 (locations pre-sorted by id), with
+   the entry array and [Entry] blocks gone.  The decide and release
+   steps are identical, so every interleaving maps one-to-one onto a
+   generic-CASN interleaving. *)
+and help_dcas2 :
+    type a b.
+    desc -> status Atomic.t -> a loc -> a -> a -> b loc -> b -> b -> unit =
+ fun desc status loc_a before_a after_a loc_b before_b after_b ->
+  let rec acquire_a () =
+    if Atomic.get status = Undecided then
+      let cur = Atomic.get loc_a.state in
+      match cur with
+      | Owned { desc = d; _ } when d == desc -> acquire_b ()
+      | Owned { desc = d; _ } ->
+          if Atomic.get (status_of d) = Undecided then help d
+          else release_one loc_a cur;
+          acquire_a ()
+      | Value v ->
+          if loc_a.equal v before_a then
+            if
+              Atomic.compare_and_set loc_a.state cur
+                (Owned { desc; before = before_a; after = after_a; orig = cur })
+            then acquire_b ()
+            else acquire_a ()
+          else ignore (Atomic.compare_and_set status Undecided Failed)
+  and acquire_b () =
+    if Atomic.get status = Undecided then
+      let cur = Atomic.get loc_b.state in
+      match cur with
+      | Owned { desc = d; _ } when d == desc ->
+          ignore (Atomic.compare_and_set status Undecided Succeeded)
+      | Owned { desc = d; _ } ->
+          if Atomic.get (status_of d) = Undecided then help d
+          else release_one loc_b cur;
+          acquire_b ()
+      | Value v ->
+          if loc_b.equal v before_b then
+            if
+              Atomic.compare_and_set loc_b.state cur
+                (Owned { desc; before = before_b; after = after_b; orig = cur })
+            then ignore (Atomic.compare_and_set status Undecided Succeeded)
+            else acquire_b ()
+          else ignore (Atomic.compare_and_set status Undecided Failed)
+  in
+  acquire_a ();
+  (match Atomic.get loc_a.state with
+  | Owned { desc = d; _ } as cur when d == desc -> release_one loc_a cur
+  | Value _ | Owned _ -> ());
+  match Atomic.get loc_b.state with
+  | Owned { desc = d; _ } as cur when d == desc -> release_one loc_b cur
+  | Value _ | Owned _ -> ()
 
 let rec set loc v =
   Opstats.incr_write counters;
   let cur = Atomic.get loc.state in
   (match cur with
-  | Owned { desc; _ } when Atomic.get desc.status = Undecided -> help desc
+  | Owned { desc; _ } when Atomic.get (status_of desc) = Undecided -> help desc
   | Value _ | Owned _ -> ());
+  Opstats.incr_value_alloc counters;
   if not (Atomic.compare_and_set loc.state cur (Value v)) then set loc v
 
 (* The location is unpublished: no other thread can hold a descriptor
@@ -134,6 +258,32 @@ let set_private loc v = Atomic.set loc.state (Value v)
 let doomed (type a) (loc : a loc) (expected : a) =
   not (loc.equal (resolve (Atomic.get loc.state)) expected)
 
+(* Build the flat two-location descriptor, normalizing to ascending
+   location-id order (the acquire order that bounds helping chains). *)
+let make_dcas2 l1 l2 o1 o2 n1 n2 =
+  if l1.id < l2.id then
+    Dcas2
+      {
+        status = Atomic.make Undecided;
+        loc_a = l1;
+        before_a = o1;
+        after_a = n1;
+        loc_b = l2;
+        before_b = o2;
+        after_b = n2;
+      }
+  else
+    Dcas2
+      {
+        status = Atomic.make Undecided;
+        loc_a = l2;
+        before_a = o2;
+        after_a = n2;
+        loc_b = l1;
+        before_b = o1;
+        after_b = n1;
+      }
+
 let dcas l1 l2 o1 o2 n1 n2 =
   if l1.id = l2.id then invalid_arg "Mem_lockfree.dcas: locations must differ";
   Opstats.incr_attempt counters;
@@ -142,12 +292,21 @@ let dcas l1 l2 o1 o2 n1 n2 =
     false
   end
   else begin
-    let e1 = Entry { loc = l1; before = o1; after = n1 }
-    and e2 = Entry { loc = l2; before = o2; after = n2 } in
-    let entries = if l1.id < l2.id then [| e1; e2 |] else [| e2; e1 |] in
-    let desc = { status = Atomic.make Undecided; entries } in
+    Opstats.incr_desc_alloc counters;
+    let desc =
+      if Atomic.get dcas2_enabled then begin
+        Opstats.incr_dcas2 counters;
+        make_dcas2 l1 l2 o1 o2 n1 n2
+      end
+      else begin
+        let e1 = Entry { loc = l1; before = o1; after = n1 }
+        and e2 = Entry { loc = l2; before = o2; after = n2 } in
+        let entries = if l1.id < l2.id then [| e1; e2 |] else [| e2; e1 |] in
+        Casn { status = Atomic.make Undecided; entries }
+      end
+    in
     help desc;
-    let ok = Atomic.get desc.status = Succeeded in
+    let ok = Atomic.get (status_of desc) = Succeeded in
     if ok then Opstats.incr_success counters;
     ok
   end
@@ -188,7 +347,9 @@ let dcas_strong l1 l2 o1 o2 n1 n2 =
 (* Generic N-word CASN over the same locations: the natural
    generalization the paper's Section 6 alludes to when discussing
    "synchronization primitives that can access more than one shared
-   memory location".  DCAS above is the two-entry special case. *)
+   memory location".  The two-entry case — every deque DCAS routed
+   through [casn], e.g. by the batched array-deque operations — takes
+   the same flat [Dcas2] descriptor as [dcas]. *)
 let casn cs =
   let entries =
     List.map (fun (Cass (loc, before, after)) -> Entry { loc; before; after }) cs
@@ -221,9 +382,27 @@ let casn cs =
       false
     end
     else begin
-      let desc = { status = Atomic.make Undecided; entries } in
+      Opstats.incr_desc_alloc counters;
+      let desc =
+        if Array.length entries = 2 && Atomic.get dcas2_enabled then begin
+          Opstats.incr_dcas2 counters;
+          let (Entry { loc = la; before = oa; after = na }) = entries.(0) in
+          let (Entry { loc = lb; before = ob; after = nb }) = entries.(1) in
+          Dcas2
+            {
+              status = Atomic.make Undecided;
+              loc_a = la;
+              before_a = oa;
+              after_a = na;
+              loc_b = lb;
+              before_b = ob;
+              after_b = nb;
+            }
+        end
+        else Casn { status = Atomic.make Undecided; entries }
+      in
       help desc;
-      let ok = Atomic.get desc.status = Succeeded in
+      let ok = Atomic.get (status_of desc) = Succeeded in
       if ok then Opstats.incr_success counters;
       ok
     end

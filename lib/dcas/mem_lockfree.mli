@@ -14,3 +14,10 @@ include Memory_intf.MEMORY_CASN
     descriptor-based helping, succeeding iff all expected values match:
     the generalization the paper's Section 6 gestures at, used by the
     3CAS deque extension. *)
+
+val set_dcas2_enabled : bool -> unit
+(** Ablation switch (default [true]): with [false], every DCAS/CASN
+    slow path builds the generic entry-array descriptor and no release
+    is value-elided — the substrate before the flat [Dcas2]
+    specialization.  For experiment E21 and tests; do not toggle while
+    operations are in flight. *)

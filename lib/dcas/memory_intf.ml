@@ -26,31 +26,90 @@ type stats = {
   chaos_freezes : int;
       (** injected long domain stalls ({!Mem_chaos}) — the empirical
           "thread stops making progress" of the lock-freedom claims. *)
+  dcas2_hits : int;
+      (** how many DCAS/2-entry-CASN slow paths took the specialized
+          flat [Dcas2] descriptor instead of the generic entry-array
+          CASN ({!Mem_lockfree}); always 0 for other substrates. *)
+  descriptor_allocs : int;
+      (** CASN descriptors allocated — attempts that survived
+          pre-validation and took a slow path ({!Mem_lockfree}). *)
+  value_allocs : int;
+      (** fresh [Value] state blocks allocated by writes and descriptor
+          releases ({!Mem_lockfree}).  Elided releases — the location's
+          logical value was unchanged, so the original block is
+          reinstalled — do not count. *)
 }
 
-let empty_stats =
+(* Conversions to a flat count array, in the order of the field list
+   above (= the Opstats bucket layout).  [to_counts] destructures every
+   field, so forgetting to extend it — or any function below built on
+   the pair — when a counter is added is a compile-time error; this is
+   what keeps wrappers like Mem_chaos's stats pass-through from
+   silently dropping new counters. *)
+let stats_fields = 11
+
+let to_counts
+    {
+      reads;
+      writes;
+      dcas_attempts;
+      dcas_successes;
+      dcas_fastfails;
+      chaos_spurious;
+      chaos_delays;
+      chaos_freezes;
+      dcas2_hits;
+      descriptor_allocs;
+      value_allocs;
+    } =
+  [|
+    reads;
+    writes;
+    dcas_attempts;
+    dcas_successes;
+    dcas_fastfails;
+    chaos_spurious;
+    chaos_delays;
+    chaos_freezes;
+    dcas2_hits;
+    descriptor_allocs;
+    value_allocs;
+  |]
+
+let of_counts a =
+  if Array.length a <> stats_fields then
+    invalid_arg "Memory_intf.of_counts: wrong arity";
   {
-    reads = 0;
-    writes = 0;
-    dcas_attempts = 0;
-    dcas_successes = 0;
-    dcas_fastfails = 0;
-    chaos_spurious = 0;
-    chaos_delays = 0;
-    chaos_freezes = 0;
+    reads = a.(0);
+    writes = a.(1);
+    dcas_attempts = a.(2);
+    dcas_successes = a.(3);
+    dcas_fastfails = a.(4);
+    chaos_spurious = a.(5);
+    chaos_delays = a.(6);
+    chaos_freezes = a.(7);
+    dcas2_hits = a.(8);
+    descriptor_allocs = a.(9);
+    value_allocs = a.(10);
   }
 
-let add_stats a b =
-  {
-    reads = a.reads + b.reads;
-    writes = a.writes + b.writes;
-    dcas_attempts = a.dcas_attempts + b.dcas_attempts;
-    dcas_successes = a.dcas_successes + b.dcas_successes;
-    dcas_fastfails = a.dcas_fastfails + b.dcas_fastfails;
-    chaos_spurious = a.chaos_spurious + b.chaos_spurious;
-    chaos_delays = a.chaos_delays + b.chaos_delays;
-    chaos_freezes = a.chaos_freezes + b.chaos_freezes;
-  }
+let stats_to_assoc s =
+  [
+    ("reads", s.reads);
+    ("writes", s.writes);
+    ("dcas_attempts", s.dcas_attempts);
+    ("dcas_successes", s.dcas_successes);
+    ("dcas_fastfails", s.dcas_fastfails);
+    ("chaos_spurious", s.chaos_spurious);
+    ("chaos_delays", s.chaos_delays);
+    ("chaos_freezes", s.chaos_freezes);
+    ("dcas2_hits", s.dcas2_hits);
+    ("descriptor_allocs", s.descriptor_allocs);
+    ("value_allocs", s.value_allocs);
+  ]
+
+let empty_stats = of_counts (Array.make stats_fields 0)
+let add_stats a b = of_counts (Array.map2 ( + ) (to_counts a) (to_counts b))
 
 let pp_stats ppf s =
   Format.fprintf ppf "reads=%d writes=%d dcas=%d/%d fastfail=%d" s.reads
@@ -59,7 +118,12 @@ let pp_stats ppf s =
      the uninjected substrates' reports stay unchanged *)
   if s.chaos_spurious > 0 || s.chaos_delays > 0 || s.chaos_freezes > 0 then
     Format.fprintf ppf " chaos=spurious:%d,delay:%d,freeze:%d" s.chaos_spurious
-      s.chaos_delays s.chaos_freezes
+      s.chaos_delays s.chaos_freezes;
+  (* likewise the allocation counters appear only on substrates that
+     track them, so the other models' reports stay unchanged *)
+  if s.dcas2_hits > 0 || s.descriptor_allocs > 0 || s.value_allocs > 0 then
+    Format.fprintf ppf " alloc=dcas2:%d,desc:%d,value:%d" s.dcas2_hits
+      s.descriptor_allocs s.value_allocs
 
 module type MEMORY = sig
   (** A linearizable shared memory providing the operations of Section 2:

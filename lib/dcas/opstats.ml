@@ -15,9 +15,13 @@
 type bucket = int Atomic.t array
 (* indices: 0 = reads, 1 = writes, 2 = dcas attempts, 3 = dcas
    successes, 4 = dcas fast-fails, 5 = injected spurious failures,
-   6 = injected delays, 7 = injected freezes (5-7 used by Mem_chaos) *)
+   6 = injected delays, 7 = injected freezes (5-7 used by Mem_chaos),
+   8 = Dcas2 fast-path hits, 9 = descriptor allocations, 10 = Value
+   block allocations (8-10 used by Mem_lockfree).  The layout is the
+   field order of Memory_intf.stats: snapshot converts through
+   Memory_intf.of_counts, so the two can never drift apart silently. *)
 
-let bucket_size = 8
+let bucket_size = Memory_intf.stats_fields
 
 type t = {
   mutex : Mutex.t;
@@ -54,22 +58,16 @@ let incr_fastfail t = incr (bucket t) 4
 let incr_spurious t = incr (bucket t) 5
 let incr_delay t = incr (bucket t) 6
 let incr_freeze t = incr (bucket t) 7
+let incr_dcas2 t = incr (bucket t) 8
+let incr_desc_alloc t = incr (bucket t) 9
+let incr_value_alloc t = incr (bucket t) 10
 
 let snapshot t : Memory_intf.stats =
   Mutex.lock t.mutex;
   let buckets = t.buckets in
   Mutex.unlock t.mutex;
   let sum i = List.fold_left (fun acc b -> acc + Atomic.get b.(i)) 0 buckets in
-  {
-    reads = sum 0;
-    writes = sum 1;
-    dcas_attempts = sum 2;
-    dcas_successes = sum 3;
-    dcas_fastfails = sum 4;
-    chaos_spurious = sum 5;
-    chaos_delays = sum 6;
-    chaos_freezes = sum 7;
-  }
+  Memory_intf.of_counts (Array.init bucket_size sum)
 
 let reset t =
   Mutex.lock t.mutex;

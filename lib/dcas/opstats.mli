@@ -28,6 +28,17 @@ val incr_delay : t -> unit
 val incr_freeze : t -> unit
 (** Count an injected long domain stall ({!Mem_chaos}). *)
 
+val incr_dcas2 : t -> unit
+(** Count a slow path taken through the specialized flat [Dcas2]
+    descriptor ({!Mem_lockfree}). *)
+
+val incr_desc_alloc : t -> unit
+(** Count a CASN descriptor allocation ({!Mem_lockfree}). *)
+
+val incr_value_alloc : t -> unit
+(** Count a fresh [Value] state-block allocation ({!Mem_lockfree});
+    elided releases do not count. *)
+
 val snapshot : t -> Memory_intf.stats
 (** Sum of all domains' counters since creation or the last {!reset}. *)
 

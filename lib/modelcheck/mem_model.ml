@@ -24,14 +24,11 @@ let dcas_successes = ref 0
 
 let stats () : Dcas.Memory_intf.stats =
   {
+    Dcas.Memory_intf.empty_stats with
     reads = !reads;
     writes = !writes;
     dcas_attempts = !dcas_attempts;
     dcas_successes = !dcas_successes;
-    dcas_fastfails = 0;
-    chaos_spurious = 0;
-    chaos_delays = 0;
-    chaos_freezes = 0;
   }
 
 let reset_stats () =

@@ -14,6 +14,7 @@ module Make (D : Worksteal_intf.WORKSTEAL_DEQUE) :
     deques : task D.t array;
     pending : int Atomic.t;
     workers : int;
+    steal_max : int;  (* tasks taken per steal; 1 = classic steal-one *)
   }
 
   and ctx = { pool : pool; worker : int; rng : Harness.Splitmix.t }
@@ -34,15 +35,17 @@ module Make (D : Worksteal_intf.WORKSTEAL_DEQUE) :
       (* deque full: run inline rather than lose the task *)
       execute ctx t
 
+  (* Steal a batch from a random victim: the synchronization cost of
+     one steal is amortized over up to [steal_max] tasks. *)
   let steal_from ctx =
     let n = ctx.pool.workers in
-    if n <= 1 then None
+    if n <= 1 then []
     else begin
       let victim =
         let v = Harness.Splitmix.int ctx.rng ~bound:(n - 1) in
         if v >= ctx.worker then v + 1 else v
       in
-      D.steal ctx.pool.deques.(victim)
+      D.steal_batch ctx.pool.deques.(victim) ~max:ctx.pool.steal_max
     end
 
   let worker_loop ctx =
@@ -56,21 +59,31 @@ module Make (D : Worksteal_intf.WORKSTEAL_DEQUE) :
           if Atomic.get ctx.pool.pending = 0 then ()
           else begin
             (match steal_from ctx with
-            | Some t -> execute ctx t
-            | None -> Domain.cpu_relax ());
+            | [] -> Domain.cpu_relax ()
+            | t :: rest ->
+                (* stolen tasks are already counted in [pending], so
+                   they are re-queued directly, not via [spawn]; one
+                   that does not fit runs inline rather than be lost *)
+                List.iter
+                  (fun t' -> if not (D.push own t') then execute ctx t')
+                  rest;
+                execute ctx t);
             loop ()
           end
     in
     loop ()
 
-  let run ?(seed = 0xD0E5) ~workers ~capacity root =
+  let run ?(seed = 0xD0E5) ?(steal_batch = 8) ~workers ~capacity root =
     if workers < 1 then invalid_arg "Scheduler.run: workers must be >= 1";
+    if steal_batch < 1 then
+      invalid_arg "Scheduler.run: steal_batch must be >= 1";
     let master = Harness.Splitmix.create ~seed in
     let pool =
       {
         deques = Array.init workers (fun _ -> D.create ~capacity ());
         pending = Atomic.make 0;
         workers;
+        steal_max = steal_batch;
       }
     in
     let ctxs =
@@ -108,6 +121,18 @@ module Abp_adapter : Worksteal_intf.WORKSTEAL_DEQUE = struct
     match Baselines.Abp_deque.steal_retry d with
     | `Value v -> Some v
     | `Empty -> None
+
+  (* The ABP deque can only steal one item per CAS; a batch is a
+     sequence of single steals (each its own linearization point). *)
+  let steal_batch d ~max =
+    let rec go n acc =
+      if n >= max then List.rev acc
+      else
+        match steal d with
+        | Some v -> go (n + 1) (v :: acc)
+        | None -> List.rev acc
+    in
+    go 0 []
 end
 
 (* Any general deque runs the same role by restriction: the owner uses
@@ -116,20 +141,32 @@ module Restrict (D : Deque.Deque_intf.S) : Worksteal_intf.WORKSTEAL_DEQUE =
 struct
   type 'a t = 'a D.t
 
+  module B = Deque.Deque_intf.Batch (D)
+
   let name = D.name
   let create = D.create
   let push d v = match D.push_right d v with `Okay -> true | `Full -> false
   let pop d = match D.pop_right d with `Value v -> Some v | `Empty -> None
   let steal d = match D.pop_left d with `Value v -> Some v | `Empty -> None
+  let steal_batch d ~max = B.pop_many_left d max
 end
 
 module Abp_scheduler = Make (Abp_adapter)
 
-module Array_deque_adapter = Restrict (struct
-  include Deque.Array_deque.Lockfree
+(* The array deque restricts like any deque but steals batches with its
+   native atomic [pop_many_left]: one CASN takes the whole batch. *)
+module Array_deque_adapter : Worksteal_intf.WORKSTEAL_DEQUE = struct
+  module A = Deque.Array_deque.Lockfree
 
-  let name = Deque.Array_deque.Lockfree.name
-end)
+  type 'a t = 'a A.t
+
+  let name = A.name
+  let create = A.create
+  let push d v = match A.push_right d v with `Okay -> true | `Full -> false
+  let pop d = match A.pop_right d with `Value v -> Some v | `Empty -> None
+  let steal d = match A.pop_left d with `Value v -> Some v | `Empty -> None
+  let steal_batch d ~max = A.pop_many_left d max
+end
 
 module List_deque_adapter = Restrict (struct
   include Deque.List_deque.Lockfree

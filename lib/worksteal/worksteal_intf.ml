@@ -20,6 +20,13 @@ module type WORKSTEAL_DEQUE = sig
 
   val steal : 'a t -> 'a option
   (** Any thread. *)
+
+  val steal_batch : 'a t -> max:int -> 'a list
+  (** Any thread: take up to [max] tasks from the thief end in one go,
+      oldest first.  Deques with native batched operations (the array
+      deque) commit the whole batch at a single linearization point;
+      the others take what a sequence of single steals would.  [steal]
+      is the [max = 1] special case. *)
 end
 
 module type SCHEDULER = sig
@@ -36,9 +43,19 @@ module type SCHEDULER = sig
   (** Make a task available for execution (possibly inline if the
       worker's deque is full). *)
 
-  val run : ?seed:int -> workers:int -> capacity:int -> (ctx -> unit) -> unit
+  val run :
+    ?seed:int ->
+    ?steal_batch:int ->
+    workers:int ->
+    capacity:int ->
+    (ctx -> unit) ->
+    unit
   (** Run the root task to global quiescence on [workers] domains, each
-      owning a deque of [capacity] tasks. *)
+      owning a deque of [capacity] tasks.  A thief takes up to
+      [steal_batch] tasks per steal (default 8): it runs the first and
+      re-queues the rest on its own deque, amortizing the steal's
+      synchronization over the batch; [steal_batch = 1] is classic
+      steal-one. *)
 
   val deque_name : string
 end

@@ -16,6 +16,19 @@ the forced-stale sanity counter is exact, so grep for it.
   $ ../../bench/main.exe --quick e15 | grep -c "2500 attempts -> 2500 fast-fails"
   1
 
+Quick E21 must pass its own cross-checks, which assert the perf claims
+and not just the schema: the dcas2 substrate allocates strictly fewer
+minor words per op than the generic descriptors, batch k=16 is faster
+and leaner per item than k=1 on both paths, percentiles are ordered,
+and batch traffic conserves items exactly (see check_e21 in
+bench/main.ml).
+
+  $ ../../bench/main.exe --quick e21 --json e21.json > /dev/null
+  $ ../../bench/main.exe --check-json e21.json
+  schema: dcas-deques-bench/1
+  e21: 10 rows
+  e21 invariants: ok
+
 Malformed input is rejected.
 
   $ echo '{"schema": "dcas-deques-bench/1", "experiments": [' > bad.json

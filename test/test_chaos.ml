@@ -149,6 +149,57 @@ let basic_tests =
           (contains ~needle:"chaos=spurious:1" dirty));
   ]
 
+(* Completeness of the stats pass-through: Mem_chaos merges its own
+   counters into the wrapped substrate's snapshot with
+   Memory_intf.add_stats, which is built on the exhaustive
+   to_counts/of_counts conversions — so a field added to the record
+   cannot silently vanish at the wrap seam.  Drive every counter of the
+   lock-free substrate (including the dcas2/allocation ones) plus every
+   chaos counter through one wrapped instance, and require the merged
+   snapshot to be nonzero in *each* field and to zero out completely on
+   reset. *)
+module Chaos_over_lockfree = Dcas.Mem_chaos.Make (Dcas.Mem_lockfree)
+
+let merge_completeness_tests =
+  let module CW = Chaos_over_lockfree in
+  [
+    Alcotest.test_case "every stats field survives the chaos wrap" `Quick
+      (fun () ->
+        CW.disarm ();
+        CW.reset_stats ();
+        let a = CW.make 1 and b = CW.make 2 in
+        (* reads/writes/value_allocs *)
+        ignore (CW.get a);
+        CW.set b 2;
+        (* attempts/successes/descriptor_allocs/dcas2_hits, and a no-op
+           confirm would elide — use a real write so value_allocs also
+           moves on the slow path *)
+        Alcotest.(check bool) "dcas succeeds" true (CW.dcas a b 1 2 10 20);
+        (* fastfails *)
+        ignore (CW.dcas a b 99 99 0 0);
+        (* chaos_spurious / chaos_delays / chaos_freezes, with certain
+           probabilities so the counts are deterministic *)
+        Fun.protect ~finally:CW.disarm (fun () ->
+            CW.configure ~fail_prob:1.0 ~delay_prob:1.0 ~max_delay:2
+              ~freeze_prob:1.0 ~freeze_spins:2 ~seed:5 ();
+            ignore (CW.dcas a b 10 20 11 21);
+            ignore (CW.get a));
+        let counts = Dcas.Memory_intf.to_counts (CW.stats ()) in
+        let assoc = Dcas.Memory_intf.stats_to_assoc (CW.stats ()) in
+        Array.iteri
+          (fun i c ->
+            Alcotest.(check bool)
+              (Printf.sprintf "field %s nonzero after wrap+merge"
+                 (fst (List.nth assoc i)))
+              true (c > 0))
+          counts;
+        CW.reset_stats ();
+        Alcotest.(check (array int))
+          "reset zeroes every field"
+          (Array.make Dcas.Memory_intf.stats_fields 0)
+          (Dcas.Memory_intf.to_counts (CW.stats ())));
+  ]
+
 (* The paper's adversary, executed: a correct lock-free deque keeps
    every invariant and conserves values under heavy injected faults on
    real domains.  Slow tier. *)
@@ -187,4 +238,8 @@ let stress_tests =
 
 let () =
   Alcotest.run "chaos"
-    [ ("substrate", basic_tests); ("stress", stress_tests) ]
+    [
+      ("substrate", basic_tests);
+      ("stats-merge", merge_completeness_tests);
+      ("stress", stress_tests);
+    ]

@@ -457,6 +457,161 @@ let striped_matches_seq =
           && agree ())
         ops)
 
+(* --- the specialized two-location descriptor (Dcas2) --- *)
+
+(* Run [f] with the Dcas2 specialization forced to [flag], restoring
+   the default afterwards (the knob is global). *)
+let with_dcas2 flag f =
+  Dcas.Mem_lockfree.set_dcas2_enabled flag;
+  Fun.protect ~finally:(fun () -> Dcas.Mem_lockfree.set_dcas2_enabled true) f
+
+let dcas2_tests =
+  let module M = Dcas.Mem_lockfree in
+  [
+    Alcotest.test_case "dcas2: hits counted on the two-location path" `Quick
+      (fun () ->
+        with_dcas2 true (fun () ->
+            let a = M.make 1 and b = M.make 2 in
+            M.reset_stats ();
+            Alcotest.(check bool) "succeeds" true (M.dcas a b 1 2 10 20);
+            let s = M.stats () in
+            Alcotest.(check int) "one dcas2 hit" 1 s.dcas2_hits;
+            Alcotest.(check int) "one descriptor" 1 s.descriptor_allocs));
+    Alcotest.test_case "dcas2: ablation routes to generic descriptors" `Quick
+      (fun () ->
+        with_dcas2 false (fun () ->
+            let a = M.make 1 and b = M.make 2 in
+            M.reset_stats ();
+            Alcotest.(check bool) "succeeds" true (M.dcas a b 1 2 10 20);
+            let s = M.stats () in
+            Alcotest.(check int) "no dcas2 hits" 0 s.dcas2_hits;
+            Alcotest.(check int) "still one descriptor" 1 s.descriptor_allocs));
+    Alcotest.test_case "dcas2: 2-entry casn takes the specialized path" `Quick
+      (fun () ->
+        with_dcas2 true (fun () ->
+            let a = M.make 1 and b = M.make 2 and c = M.make 3 in
+            M.reset_stats ();
+            Alcotest.(check bool) "2-entry succeeds" true
+              (M.casn [ M.Cass (b, 2, 20); M.Cass (a, 1, 10) ]);
+            Alcotest.(check int) "specialized" 1 (M.stats ()).dcas2_hits;
+            Alcotest.(check bool) "3-entry succeeds" true
+              (M.casn
+                 [ M.Cass (a, 10, 11); M.Cass (b, 20, 21); M.Cass (c, 3, 30) ]);
+            Alcotest.(check int) "3-entry stays generic" 1
+              (M.stats ()).dcas2_hits));
+    Alcotest.test_case "dcas2: value elision on no-op confirms" `Quick
+      (fun () ->
+        (* a successful no-op DCAS leaves both logical values unchanged,
+           so the release phase may reinstall the original Value blocks:
+           value_allocs stays zero with the specialization on, and is
+           2 per op with it off *)
+        let confirms n flag =
+          with_dcas2 flag (fun () ->
+              let a = M.make 7 and b = M.make 8 in
+              M.reset_stats ();
+              for _ = 1 to n do
+                Alcotest.(check bool) "confirm" true (M.dcas a b 7 8 7 8)
+              done;
+              M.stats ())
+        in
+        let s_on = confirms 50 true and s_off = confirms 50 false in
+        Alcotest.(check int) "elided entirely" 0 s_on.value_allocs;
+        Alcotest.(check int) "generic allocates two per op" 100
+          s_off.value_allocs);
+    Alcotest.test_case "dcas2: elision reduces minor allocation" `Quick
+      (fun () ->
+        let words flag =
+          with_dcas2 flag (fun () ->
+              let a = M.make 7 and b = M.make 8 in
+              ignore (M.dcas a b 7 8 7 8);
+              let before = Gc.minor_words () in
+              for _ = 1 to 10_000 do
+                ignore (M.dcas a b 7 8 7 8)
+              done;
+              Gc.minor_words () -. before)
+        in
+        let w_on = words true and w_off = words false in
+        Alcotest.(check bool)
+          (Printf.sprintf "%.0f < %.0f minor words" w_on w_off)
+          true (w_on < w_off));
+    Alcotest.test_case "dcas2: both modes agree with the reference" `Quick
+      (fun () ->
+        (* the same mixed op sequence — successful, failing, no-op and
+           cross-type DCASes plus 2-entry CASNs — must be observationally
+           identical on Mem_seq and on Mem_lockfree in either mode *)
+        let module S = Dcas.Mem_seq in
+        List.iter
+          (fun flag ->
+            with_dcas2 flag (fun () ->
+                let la = M.make 0 and lb = M.make 100 in
+                let sa = S.make 0 and sb = S.make 100 in
+                let rng = Harness.Splitmix.create ~seed:(Bool.to_int flag) in
+                for _ = 1 to 2_000 do
+                  let o1 = Harness.Splitmix.int rng ~bound:4 in
+                  let o2 = 100 + Harness.Splitmix.int rng ~bound:4 in
+                  let n1 = Harness.Splitmix.int rng ~bound:4 in
+                  let n2 = 100 + Harness.Splitmix.int rng ~bound:4 in
+                  let lr, sr =
+                    if Harness.Splitmix.bool rng then
+                      ( M.casn [ M.Cass (la, o1, n1); M.Cass (lb, o2, n2) ],
+                        S.casn [ S.Cass (sa, o1, n1); S.Cass (sb, o2, n2) ] )
+                    else (M.dcas la lb o1 o2 n1 n2, S.dcas sa sb o1 o2 n1 n2)
+                  in
+                  Alcotest.(check bool) "verdicts agree" sr lr;
+                  Alcotest.(check int) "a agrees" (S.get sa) (M.get la);
+                  Alcotest.(check int) "b agrees" (S.get sb) (M.get lb)
+                done))
+          [ true; false ]);
+    Test_support.tiered "dcas2: concurrent conservation in both modes" `Slow
+      (fun () ->
+        List.iter
+          (fun flag -> with_dcas2 flag (transfer_test (module M)))
+          [ true; false ]);
+  ]
+
+(* --- stats record completeness --- *)
+
+(* [to_counts] fully destructures the record (field omission is a
+   compile error via warning 9), and everything else — merge, reset,
+   snapshot — is built on [to_counts]/[of_counts].  These tests pin the
+   runtime half: conversions are mutually inverse and no field is
+   silently dropped by merge or export. *)
+let stats_completeness_tests =
+  let module I = Dcas.Memory_intf in
+  let counted = Array.init I.stats_fields (fun i -> (i + 1) * 3) in
+  [
+    Alcotest.test_case "stats: of_counts/to_counts round-trip" `Quick
+      (fun () ->
+        Alcotest.(check (array int))
+          "round-trip" counted
+          (I.to_counts (I.of_counts counted));
+        Alcotest.check_raises "arity mismatch rejected"
+          (Invalid_argument "Memory_intf.of_counts: wrong arity")
+          (fun () -> ignore (I.of_counts (Array.make (I.stats_fields - 1) 0))));
+    Alcotest.test_case "stats: add_stats covers every field" `Quick (fun () ->
+        let a = I.of_counts counted in
+        let doubled = I.add_stats a a in
+        Alcotest.(check (array int))
+          "every field doubled"
+          (Array.map (fun c -> 2 * c) counted)
+          (I.to_counts doubled);
+        Alcotest.(check (array int))
+          "empty is the identity" counted
+          (I.to_counts (I.add_stats a I.empty_stats)));
+    Alcotest.test_case "stats: assoc export covers every field" `Quick
+      (fun () ->
+        let assoc = I.stats_to_assoc (I.of_counts counted) in
+        Alcotest.(check int) "one entry per field" I.stats_fields
+          (List.length assoc);
+        let names = List.map fst assoc in
+        Alcotest.(check int)
+          "names distinct" I.stats_fields
+          (List.length (List.sort_uniq compare names));
+        Alcotest.(check (list int))
+          "values in field order" (Array.to_list counted)
+          (List.map snd assoc));
+  ]
+
 (* --- per-domain stats plumbing --- *)
 
 let opstats_tests =
@@ -578,6 +733,8 @@ let () =
       ("concurrent-atomicity", List.concat_map concurrent_tests concurrent_models);
       ("casn", casn_tests);
       ("fast-path", fastpath_tests);
+      ("dcas2", dcas2_tests);
+      ("stats-completeness", stats_completeness_tests);
       ("opstats", opstats_tests);
       ("substrate", misc_tests);
     ]
