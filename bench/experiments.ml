@@ -1490,6 +1490,166 @@ let e21 ~quick =
      traffic amortize over the batch"
 
 (* ------------------------------------------------------------------ *)
+(* E22: crash-fault tolerance — kill k of n supervised workers         *)
+(* ------------------------------------------------------------------ *)
+
+module Crash_mem = Harness.Crash.Mem_crashing_casn (Dcas.Mem_lockfree)
+module Crash_array = Deque.Array_deque.Make_batched (Crash_mem)
+
+module Crash_adapter : Worksteal.Worksteal_intf.WORKSTEAL_DEQUE = struct
+  type 'a t = 'a Crash_array.t
+
+  let name = "array-deque+crash"
+  let create ~capacity () = Crash_array.make ~length:capacity ()
+
+  let push d v =
+    match Crash_array.push_right d v with `Okay -> true | `Full -> false
+
+  let pop d =
+    match Crash_array.pop_right d with `Value v -> Some v | `Empty -> None
+
+  let steal d =
+    match Crash_array.pop_left d with `Value v -> Some v | `Empty -> None
+
+  let steal_batch d ~max = Crash_array.pop_many_left d max
+end
+
+module Crash_sched = Worksteal.Scheduler.Make (Crash_adapter)
+
+let e22 ~quick =
+  header "E22 crash-fault tolerance: kill k of n supervised workers";
+  let depth = if quick then 5 else 6 in
+  let degree = 3 in
+  let leaves = int_of_float (float_of_int degree ** float_of_int depth) in
+  let kill_depth = depth - 2 in
+  (* One supervised run over the crash-instrumented array deque; the
+     caller arms the deaths (targeted tickets or a probabilistic
+     storm) via [arm], which receives the worker count. *)
+  let supervised_run ~section ~label ~workers ~arm =
+    Harness.Crash.reset ();
+    Dcas.Mem_lockfree.reset_stats ();
+    let counter = Atomic.make 0 in
+    let claim = arm ~workers in
+    let root ctx =
+      let rec node d ctx =
+        if d = 0 then Atomic.incr counter
+        else begin
+          if d = kill_depth then claim ctx;
+          for _ = 1 to degree do
+            Crash_sched.spawn ctx (node (d - 1))
+          done
+        end
+      in
+      node depth ctx
+    in
+    let wd = Harness.Watchdog.create ~threads:workers ~stall_after:30. () in
+    let t0 = Unix.gettimeofday () in
+    let r = Crash_sched.run_supervised ~workers ~capacity:512 ~watchdog:wd root in
+    let dt = Unix.gettimeofday () -. t0 in
+    Harness.Crash.disarm ();
+    let stalled = if Harness.Watchdog.fired wd then 1 else 0 in
+    let ok = if Worksteal.Supervisor.conserved r then 1 else 0 in
+    let open Worksteal.Supervisor in
+    emit_json
+      (Harness.Json.Obj
+         [
+           ("experiment", Harness.Json.String "e22");
+           ("section", Harness.Json.String section);
+           ("label", Harness.Json.String label);
+           ("workers", Harness.Json.Int workers);
+           ( "ops_per_sec",
+             Harness.Json.Float (float_of_int r.executed /. dt) );
+           ("spawned", Harness.Json.Int r.spawned);
+           ("executed", Harness.Json.Int r.executed);
+           ("killed", Harness.Json.Int r.killed);
+           ("adopted", Harness.Json.Int r.adopted);
+           ("reconciled", Harness.Json.Int r.reconciled);
+           ("replacements", Harness.Json.Int r.replacements);
+           ("orphans_helped", Harness.Json.Int r.orphans_helped);
+           ( "mid_casn_kills",
+             Harness.Json.Int (Harness.Crash.mid_casn_kills ()) );
+           ("conserved", Harness.Json.Int ok);
+           ("stalled", Harness.Json.Int stalled);
+         ]);
+    let leaves_seen = Atomic.get counter in
+    [
+      label;
+      string_of_int workers;
+      fmt_tp (float_of_int r.executed /. dt);
+      string_of_int r.spawned;
+      string_of_int r.executed;
+      string_of_int r.killed;
+      string_of_int r.adopted;
+      string_of_int r.reconciled;
+      string_of_int r.orphans_helped;
+      (if ok = 1 then "ok"
+       else Printf.sprintf "VIOLATED %d<>%d+%d" r.spawned r.executed r.reconciled);
+      Printf.sprintf "%d/%d" leaves_seen leaves;
+    ]
+  in
+  (* Targeted kill-k-of-n: the first k distinct workers to reach the
+     kill depth claim a ticket and die mid-CASN at their next
+     DCAS-shaped operation (the push of their next spawn), stranding a
+     published descriptor for the survivors to help. *)
+  let targeted ~k ~workers =
+    let tickets = Atomic.make k in
+    let claimed = Array.init workers (fun _ -> Atomic.make false) in
+    fun ctx ->
+      let w = Crash_sched.worker ctx in
+      if
+        w < workers
+        && Atomic.get tickets > 0
+        && Atomic.compare_and_set claimed.(w) false true
+      then begin
+        let rec take () =
+          let t = Atomic.get tickets in
+          t > 0 && (Atomic.compare_and_set tickets t (t - 1) || take ())
+        in
+        if take () then Harness.Crash.kill ~mode:`Mid_casn ~tid:w ()
+        else Atomic.set claimed.(w) false
+      end
+  in
+  let rows =
+    List.map
+      (fun (n, k) ->
+        supervised_run ~section:"targeted"
+          ~label:(Printf.sprintf "kill %d of %d" k n)
+          ~workers:n
+          ~arm:(fun ~workers -> targeted ~k ~workers))
+      [ (2, 1); (4, 1); (4, 2) ]
+  in
+  (* Probabilistic storm: every instrumented shared-memory access of
+     every worker draws a death verdict from a replayable per-domain
+     stream; half the deaths land mid-CASN. *)
+  let storm_rows =
+    List.map
+      (fun (seed, max_kills) ->
+        supervised_run ~section:"storm"
+          ~label:(Printf.sprintf "storm seed=%#x" seed)
+          ~workers:4
+          ~arm:(fun ~workers:_ ->
+            Harness.Crash.configure ~prob:0.0005 ~mid_casn_prob:0.5
+              ~max_kills ~seed ();
+            fun _ctx -> ()))
+      [ (0xE22A, 2); (0xE22B, 3) ]
+  in
+  Harness.Table.print
+    ~headers:
+      [
+        "scenario"; "n"; "tasks/s"; "spawned"; "executed"; "killed"; "adopted";
+        "reconciled"; "orphans"; "conserved"; "leaves";
+      ]
+    (rows @ storm_rows);
+  note
+    "divide-and-conquer tree (degree %d, depth %d, %d leaves) on the\n\
+     supervised scheduler over the crash-instrumented array deque;\n\
+     killed workers die for good at a shared-memory point (mid-CASN\n\
+     where targeted), the supervisor adopts their deques, and leftover\n\
+     pending units are reconciled only under the quiescence certificate\n\
+     -- conserved means spawned = executed + reconciled exactly"
+    degree depth leaves
+
+(* ------------------------------------------------------------------ *)
 
 type experiment = { id : string; title : string; run : quick:bool -> unit }
 
@@ -1517,5 +1677,10 @@ let all : experiment list =
       id = "e21";
       title = "DCAS2 fast path + batched transfers: latency/alloc";
       run = e21;
+    };
+    {
+      id = "e22";
+      title = "crash-fault tolerance: kill k of n supervised workers";
+      run = e22;
     };
   ]

@@ -151,6 +151,51 @@ let check_e21 rows =
     [ "dcas2"; "generic" ];
   Printf.printf "e21 invariants: ok\n"
 
+(* E22 is the crash-recovery acceptance gate: every supervised run —
+   targeted kill-k-of-n and probabilistic storm alike — must conserve
+   tasks exactly (spawned = executed + reconciled), terminate without
+   the watchdog firing, and help every descriptor orphaned by a
+   mid-CASN death.  The targeted rows must also land exactly the kills
+   they asked for. *)
+let check_e22 rows =
+  let open Harness.Json in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "e22 invariant violated: %s\n" m;
+        exit 1)
+      fmt
+  in
+  let str k r = Option.value ~default:"?" (string_value (member k r)) in
+  let num k r =
+    match number_value (member k r) with
+    | Some v -> v
+    | None -> fail "row %S lacks numeric %S" (str "label" r) k
+  in
+  let int_of k r = int_of_float (num k r) in
+  if List.length rows < 5 then fail "expected >= 5 rows, got %d" (List.length rows);
+  List.iter
+    (fun r ->
+      let label = str "label" r in
+      if int_of "conserved" r <> 1 then
+        fail "%s: spawned %d <> executed %d + reconciled %d" label
+          (int_of "spawned" r) (int_of "executed" r) (int_of "reconciled" r);
+      if int_of "stalled" r <> 0 then fail "%s: watchdog fired" label;
+      if int_of "orphans_helped" r <> int_of "mid_casn_kills" r then
+        fail "%s: %d orphans helped but %d mid-CASN kills" label
+          (int_of "orphans_helped" r) (int_of "mid_casn_kills" r);
+      if not (num "ops_per_sec" r > 0.) then fail "%s: no throughput" label;
+      if str "section" r = "targeted" then begin
+        let k = Scanf.sscanf label "kill %d of %d" (fun k _ -> k) in
+        if int_of "killed" r <> k then
+          fail "%s: %d workers died" label (int_of "killed" r);
+        if int_of "replacements" r < k then
+          fail "%s: only %d replacements for %d deaths" label
+            (int_of "replacements" r) k
+      end)
+    rows;
+  Printf.printf "e22 invariants: ok\n"
+
 (* Parse a --json document back and print a deterministic summary; the
    cram test uses this as the round-trip check. *)
 let check_json file =
@@ -191,7 +236,8 @@ let check_json file =
                       exit 1)
                 rows;
               Printf.printf "%s: %d rows\n" id (List.length rows);
-              if id = "e21" then check_e21 rows)
+              if id = "e21" then check_e21 rows;
+              if id = "e22" then check_e22 rows)
         (to_list (member "experiments" doc))
 
 let main quick json_file check ids =

@@ -155,9 +155,9 @@ let run_replay scenario token =
         (threads, failure, Modelcheck.Fuzz.token_of threads failure.schedule);
       1
 
-let run algo length prefill setup threads sample seed victim max_schedules
-    fuzz pct depth no_shrink replay chaos_fail chaos_freeze chaos_freeze_spins
-    chaos_seed =
+let run algo length prefill setup threads sample seed victim crash
+    max_schedules fuzz pct depth no_shrink replay chaos_fail chaos_freeze
+    chaos_freeze_spins chaos_seed =
   match
     scenario_of ~algo ~length ~prefill ~setup ~chaos_fail ~chaos_freeze
       ~chaos_freeze_spins ~chaos_seed ~threads
@@ -167,8 +167,19 @@ let run algo length prefill setup threads sample seed victim max_schedules
       2
   | Ok scenario ->
       let code =
-        match (victim, replay, pct, fuzz, sample) with
-      | Some v, _, _, _, _ -> (
+        match (crash, victim, replay, pct, fuzz, sample) with
+      | Some v, _, _, _, _, _ -> (
+          match Modelcheck.Explorer.check_crash scenario ~victim:v with
+          | Ok n ->
+              Printf.printf
+                "crash-recovery: survivors completed, drained and conserved \
+                 at every one of the victim's %d crash points\n"
+                n;
+              0
+          | Error j ->
+              Printf.printf "UNRECOVERED: crash point %d broke recovery\n" j;
+              1)
+      | None, Some v, _, _, _, _ -> (
           match Modelcheck.Explorer.check_nonblocking scenario ~victim:v with
           | Ok n ->
               Printf.printf
@@ -179,15 +190,15 @@ let run algo length prefill setup threads sample seed victim max_schedules
           | Error j ->
               Printf.printf "BLOCKED: stall point %d prevented completion\n" j;
               1)
-      | None, Some token, _, _, _ -> run_replay scenario token
-      | None, None, Some runs, _, _ ->
+      | None, None, Some token, _, _, _ -> run_replay scenario token
+      | None, None, None, Some runs, _, _ ->
           run_fuzz scenario ~runs ~seed
             ~strategy:(Modelcheck.Fuzz.Pct depth)
             ~shrink:(not no_shrink)
-      | None, None, None, Some runs, _ ->
+      | None, None, None, None, Some runs, _ ->
           run_fuzz scenario ~runs ~seed ~strategy:Modelcheck.Fuzz.Uniform
             ~shrink:(not no_shrink)
-      | None, None, None, None, sample -> (
+      | None, None, None, None, None, sample -> (
           let outcome =
             match sample with
             | Some n -> Modelcheck.Explorer.sample ~schedules:n ~seed scenario
@@ -319,6 +330,17 @@ let victim =
     & info [ "victim" ] ~docv:"I"
         ~doc:"Lock-freedom check: freeze thread I at every stall point.")
 
+let crash =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "crash" ] ~docv:"I"
+        ~doc:
+          "Crash-recovery check (E22): kill thread I for good at every one \
+           of its reachable crash points; survivors must complete, drain the \
+           deque and conserve its contents up to the victim's single \
+           in-flight operation.")
+
 let max_schedules =
   Arg.(
     value
@@ -331,7 +353,7 @@ let cmd =
     (Cmd.info "explore" ~doc)
     Term.(
       const run $ algo $ length $ prefill $ setup $ threads $ sample $ seed
-      $ victim $ max_schedules $ fuzz $ pct $ depth $ no_shrink $ replay
-      $ chaos_fail $ chaos_freeze $ chaos_freeze_spins $ chaos_seed)
+      $ victim $ crash $ max_schedules $ fuzz $ pct $ depth $ no_shrink
+      $ replay $ chaos_fail $ chaos_freeze $ chaos_freeze_spins $ chaos_seed)
 
 let () = exit (Cmd.eval' cmd)

@@ -12,7 +12,19 @@
    if nothing progresses for that long, it dumps a diagnostic snapshot
    (per-thread op counts, substrate counters) to stderr and the run
    exits with code 3 — a stalled structure becomes a report, not a CI
-   timeout. *)
+   timeout.
+
+   Crash injection (--crash-prob P, --crash-workers K) arms fail-stop
+   deaths over the lock-free implementations: each worker may die for
+   good at an instrumented shared-memory point — mid-CASN with a
+   published descriptor where the draw lands on a DCAS-shaped
+   operation — and at most K workers die in total.  After the run a
+   machine-readable "crash-summary:" line reports the deaths and the
+   orphaned descriptors the survivors helped.
+
+   Exit codes: 0 ok; 2 usage; 3 the watchdog fired (survivors
+   stalled); 4 a crash went unrecovered (orphaned descriptors were
+   not all helped, or the runner and injector disagree on deaths). *)
 
 open Cmdliner
 
@@ -28,7 +40,8 @@ type impl = {
     Harness.Runner.result;
 }
 
-let make_impl (type t) name ~(create : capacity:int -> unit -> t)
+let make_impl (type t) ?(enroll = false) name
+    ~(create : capacity:int -> unit -> t)
     ~(push_right : t -> int -> Deque.Deque_intf.push_result)
     ~(push_left : t -> int -> Deque.Deque_intf.push_result)
     ~(pop_right : t -> int Deque.Deque_intf.pop_result)
@@ -46,6 +59,8 @@ let make_impl (type t) name ~(create : capacity:int -> unit -> t)
           | `Full -> invalid_arg "prefill exceeds capacity"
         done;
         Harness.Runner.run ?watchdog ~threads ~duration (fun ~tid ~rng ->
+            if enroll && tid < Harness.Crash.max_slots then
+              Harness.Crash.enroll ~tid;
             ignore
               (Harness.Workload.apply
                  ~push_right:(fun v -> push_right d v)
@@ -111,6 +126,46 @@ let impls : impl list =
       ~pop_left:D.pop_left);
   ]
 
+(* Crash-instrumented variants of the lock-free implementations: same
+   algorithms over [Mem_lockfree] behind [Crash.Mem_crashing_casn], so
+   an armed worker dies at a shared-memory point and the others keep
+   going.  Selected (by the same --impl names) when --crash-prob is
+   positive. *)
+module Crash_mem = Harness.Crash.Mem_crashing_casn (Dcas.Mem_lockfree)
+module Crash_array = Deque.Array_deque.Make (Crash_mem)
+module Crash_list = Deque.List_deque.Make (Crash_mem)
+module Crash_dummy = Deque.List_deque_dummy.Make (Crash_mem)
+module Crash_casn = Deque.List_deque_casn.Make (Crash_mem)
+
+let crash_impls : impl list =
+  [
+    (let module D = Crash_array in
+    make_impl ~enroll:true "array-lockfree"
+      ~create:(fun ~capacity () -> D.make ~length:capacity ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+    (let module D = Crash_list in
+    make_impl ~enroll:true "list-lockfree"
+      ~create:(fun ~capacity:_ () -> D.make ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+    (let module D = Crash_dummy in
+    make_impl ~enroll:true "dummy-lockfree"
+      ~create:(fun ~capacity:_ () -> D.make ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+    (let module D = Crash_casn in
+    make_impl ~enroll:true "3cas-lockfree"
+      ~create:(fun ~capacity:_ () -> D.make ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+    (let module D = Crash_list in
+    make_impl ~enroll:true "list-recycle"
+      ~create:(fun ~capacity:_ () -> D.make ~recycle:true ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
+  ]
+
 let mix_of = function
   | "balanced" -> Ok Harness.Workload.balanced
   | "push-heavy" -> Ok Harness.Workload.push_heavy
@@ -119,20 +174,35 @@ let mix_of = function
   | "lifo" -> Ok Harness.Workload.lifo_right
   | m -> Error ("unknown mix: " ^ m)
 
-let run impl_name threads duration mix_name capacity prefill watchdog_s =
+let run impl_name threads duration mix_name capacity prefill watchdog_s
+    crash_prob crash_workers crash_seed =
+  let crashing = crash_prob > 0. in
+  let table = if crashing then crash_impls else impls in
   match
-    ( List.find_opt (fun i -> i.name = impl_name) impls,
-      mix_of mix_name )
+    (List.find_opt (fun i -> i.name = impl_name) table, mix_of mix_name)
   with
   | None, _ ->
-      Printf.eprintf "unknown implementation %s (have: %s)\n" impl_name
-        (String.concat ", " (List.map (fun i -> i.name) impls));
+      if crashing && List.exists (fun i -> i.name = impl_name) impls then
+        Printf.eprintf
+          "%s has no crash-instrumented variant (have: %s)\n" impl_name
+          (String.concat ", " (List.map (fun i -> i.name) crash_impls))
+      else
+        Printf.eprintf "unknown implementation %s (have: %s)\n" impl_name
+          (String.concat ", " (List.map (fun i -> i.name) table));
       2
   | _, Error e ->
       prerr_endline e;
       2
   | Some impl, Ok mix ->
       Dcas.Mem_lockfree.reset_stats ();
+      (* cap deaths below the thread count so survivors remain to help
+         orphans and keep the watchdog ticking *)
+      let max_kills = min crash_workers (threads - 1) in
+      if crashing then begin
+        Harness.Crash.reset ();
+        Harness.Crash.configure ~prob:crash_prob ~mid_casn_prob:0.5
+          ~max_kills ~seed:crash_seed ()
+      end;
       let watchdog =
         if watchdog_s <= 0. then None
         else
@@ -142,6 +212,7 @@ let run impl_name threads duration mix_name capacity prefill watchdog_s =
                ~threads ())
       in
       let r = impl.run ~watchdog ~threads ~duration ~mix ~capacity ~prefill in
+      if crashing then Harness.Crash.disarm ();
       Printf.printf "%s: %s ops/s (%d threads, %.1fs, mix %s)\n" impl.name
         (Harness.Table.ops_per_sec (Harness.Runner.throughput r))
         threads duration mix_name;
@@ -152,12 +223,35 @@ let run impl_name threads duration mix_name capacity prefill watchdog_s =
       if s.Dcas.Memory_intf.dcas_attempts > 0 then
         Printf.printf "lock-free substrate: %s\n"
           (Format.asprintf "%a" Dcas.Memory_intf.pp_stats s);
-      (match watchdog with
-      | Some w when Harness.Watchdog.fired w ->
-          Printf.eprintf "watchdog fired %d time(s); failing the run\n"
-            (Harness.Watchdog.stalls w);
-          3
-      | Some _ | None -> 0)
+      let stalled =
+        match watchdog with
+        | Some w when Harness.Watchdog.fired w ->
+            Printf.eprintf "watchdog fired %d time(s); failing the run\n"
+              (Harness.Watchdog.stalls w);
+            true
+        | Some _ | None -> false
+      in
+      if not crashing then if stalled then 3 else 0
+      else begin
+        let killed = Harness.Crash.kills () in
+        let mid_casn = Harness.Crash.mid_casn_kills () in
+        let orphans_helped = Dcas.Mem_lockfree.help_orphans () in
+        let runner_deaths = Harness.Runner.deaths r in
+        Printf.printf
+          "crash-summary: killed=%d mid_casn=%d orphans_helped=%d \
+           runner_deaths=%d survivors=%d\n"
+          killed mid_casn orphans_helped runner_deaths
+          (threads - runner_deaths);
+        if stalled then 3
+        else if orphans_helped <> mid_casn || runner_deaths <> killed then begin
+          Printf.eprintf
+            "unrecovered crash: %d mid-CASN deaths but %d orphans helped \
+             (runner saw %d of %d deaths)\n"
+            mid_casn orphans_helped runner_deaths killed;
+          4
+        end
+        else 0
+      end
 
 let impl_arg =
   Arg.(
@@ -191,12 +285,37 @@ let watchdog_s =
           "Fail with a diagnostic (exit 3) if no worker completes an \
            operation for SEC seconds; 0 disables.")
 
+let crash_prob =
+  Arg.(
+    value & opt float 0.
+    & info [ "crash-prob" ] ~docv:"P"
+        ~doc:
+          "Per-instrumented-access probability that a worker dies for \
+           good (fail-stop, possibly mid-CASN); 0 disables crash \
+           injection.  Positive values select the crash-instrumented \
+           variant of the implementation and print a crash-summary \
+           line; exit 4 if recovery fails.")
+
+let crash_workers =
+  Arg.(
+    value & opt int 1
+    & info [ "crash-workers" ] ~docv:"K"
+        ~doc:
+          "Kill at most K workers (capped at threads - 1 so survivors \
+           remain).")
+
+let crash_seed =
+  Arg.(
+    value & opt int 0xE22
+    & info [ "crash-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the replayable per-domain death draws.")
+
 let cmd =
   let doc = "multi-domain deque throughput" in
   Cmd.v
     (Cmd.info "stress" ~doc)
     Term.(
       const run $ impl_arg $ threads $ duration $ mix $ capacity $ prefill
-      $ watchdog_s)
+      $ watchdog_s $ crash_prob $ crash_workers $ crash_seed)
 
 let () = exit (Cmd.eval' cmd)

@@ -58,6 +58,7 @@ and 'a state =
 and desc =
   | Dcas2 : {
       status : status Atomic.t;
+      owner : int;  (* domain id of the operation's initiator *)
       loc_a : 'a loc;  (* invariant: loc_a.id < loc_b.id *)
       before_a : 'a;
       after_a : 'a;
@@ -66,7 +67,7 @@ and desc =
       after_b : 'b;
     }
       -> desc
-  | Casn of { status : status Atomic.t; entries : entry array }
+  | Casn of { status : status Atomic.t; owner : int; entries : entry array }
 
 and entry = Entry : { loc : 'a loc; before : 'a; after : 'a } -> entry
 
@@ -87,6 +88,99 @@ let set_dcas2_enabled b = Atomic.set dcas2_enabled b
 let status_of = function
   | Dcas2 { status; _ } -> status
   | Casn { status; _ } -> status
+
+(* --- Fail-stop crash bookkeeping (driven by {!Harness.Crash}) ---
+
+   A domain about to be killed is first marked dead; every descriptor
+   it publishes from then on is an {e orphan}, and the helper that
+   decides such a descriptor's status — the successful Undecided ->
+   Succeeded/Failed CAS, which happens exactly once — records it in
+   [helped_orphans].  The publish hook lets the crash layer interpose
+   {e between} a domain's first successful install of its own
+   descriptor and the decide, i.e. die mid-CASN with a live undecided
+   descriptor in shared memory: the scenario Theorems 3.1/4.1 promise
+   survivors recover from.  Both checks are gated on cheap armed flags
+   so the fault-free hot paths are unchanged. *)
+
+let dead_count = Atomic.make 0
+let dead_list = Atomic.make ([] : int list)
+
+(* Orphan registry: every descriptor published by an already-dead
+   domain.  A dying domain publishes at most one (it is killed at its
+   first publish), so the registry is exactly the set of descriptors
+   the paper's helping protocol must complete on the crashed domain's
+   behalf; [help_orphans] lets a supervisor force that completion
+   deterministically instead of waiting for a survivor to collide with
+   the owned locations.  Reads alone never decide a descriptor
+   ([resolve] consults the status without helping), so without this a
+   quiescent orphan could stay undecided forever. *)
+let orphan_registry = Atomic.make ([] : desc list)
+
+let rec register_orphan d =
+  let cur = Atomic.get orphan_registry in
+  if List.memq d cur then ()
+  else if not (Atomic.compare_and_set orphan_registry cur (d :: cur)) then
+    register_orphan d
+
+let orphans () = List.length (Atomic.get orphan_registry)
+
+let rec mark_dead id =
+  let cur = Atomic.get dead_list in
+  if List.memq id cur then ()
+  else if Atomic.compare_and_set dead_list cur (id :: cur) then
+    Atomic.incr dead_count
+  else mark_dead id
+
+let clear_dead () =
+  Atomic.set dead_list [];
+  Atomic.set dead_count 0;
+  Atomic.set orphan_registry []
+
+let dead_domains () = Atomic.get dead_list
+let no_hook = fun () -> ()
+let publish_hook = Atomic.make no_hook
+let hook_armed = Atomic.make false
+
+let set_publish_hook f =
+  Atomic.set publish_hook f;
+  Atomic.set hook_armed true
+
+let clear_publish_hook () =
+  Atomic.set hook_armed false;
+  Atomic.set publish_hook no_hook
+
+let self_id () = (Domain.self () :> int)
+
+let owner_of = function
+  | Dcas2 { owner; _ } -> owner
+  | Casn { owner; _ } -> owner
+
+(* The initiator just installed its own descriptor: give the crash
+   layer its chance to kill the domain right here, mid-CASN.  Helpers
+   installing someone else's descriptor never trigger the hook.  The
+   owner is read back out of [desc] (rather than passed in) so the
+   acquire closures in [help_*] capture nothing beyond what the
+   fault-free protocol already needs. *)
+let published desc =
+  if Atomic.get hook_armed then begin
+    let owner = owner_of desc in
+    if owner = self_id () then begin
+      if Atomic.get dead_count > 0 && List.memq owner (Atomic.get dead_list)
+      then register_orphan desc;
+      (Atomic.get publish_hook) ()
+    end
+  end
+
+(* A status CAS just decided [owner]'s descriptor; if the owner is a
+   dead domain and we are not it, a survivor has completed a crashed
+   thread's operation.  Status is monotonic, so this runs exactly once
+   per descriptor. *)
+let decided owner =
+  if
+    Atomic.get dead_count > 0
+    && owner <> self_id ()
+    && List.memq owner (Atomic.get dead_list)
+  then Opstats.incr_orphan counters
 
 let next_id =
   let c = Atomic.make 0 in
@@ -142,15 +236,20 @@ let release_one (type a) (loc : a loc) (cur : a state) =
 
 let rec help desc =
   match desc with
-  | Casn { status; entries } -> help_casn desc status entries
-  | Dcas2 { status; loc_a; before_a; after_a; loc_b; before_b; after_b } ->
-      help_dcas2 desc status loc_a before_a after_a loc_b before_b after_b
+  | Casn { status; owner; entries } -> help_casn desc status owner entries
+  | Dcas2 { status; owner; loc_a; before_a; after_a; loc_b; before_b; after_b }
+    ->
+      help_dcas2 desc status owner loc_a before_a after_a loc_b before_b
+        after_b
 
-and help_casn desc status entries =
+and help_casn desc status owner entries =
   let n = Array.length entries in
+  (* [acquire] returns true iff this call's CAS decided the status, so
+     the orphan accounting runs outside the loop and the closure
+     environment stays what the fault-free protocol needs. *)
   let rec acquire i =
-    if i >= n then ignore (Atomic.compare_and_set status Undecided Succeeded)
-    else if Atomic.get status <> Undecided then ()
+    if i >= n then Atomic.compare_and_set status Undecided Succeeded
+    else if Atomic.get status <> Undecided then false
     else
       let (Entry { loc; before; after }) = entries.(i) in
       let cur = Atomic.get loc.state in
@@ -165,11 +264,14 @@ and help_casn desc status entries =
             if
               Atomic.compare_and_set loc.state cur
                 (Owned { desc; before; after; orig = cur })
-            then acquire (i + 1)
+            then begin
+              published desc;
+              acquire (i + 1)
+            end
             else acquire i
-          else ignore (Atomic.compare_and_set status Undecided Failed)
+          else Atomic.compare_and_set status Undecided Failed
   in
-  acquire 0;
+  if acquire 0 then decided owner;
   (* Eagerly release whatever we still own so later operations on these
      locations take the fast [Value] path. *)
   Array.iter
@@ -186,8 +288,21 @@ and help_casn desc status entries =
    generic-CASN interleaving. *)
 and help_dcas2 :
     type a b.
-    desc -> status Atomic.t -> a loc -> a -> a -> b loc -> b -> b -> unit =
- fun desc status loc_a before_a after_a loc_b before_b after_b ->
+    desc ->
+    status Atomic.t ->
+    int ->
+    a loc ->
+    a ->
+    a ->
+    b loc ->
+    b ->
+    b ->
+    unit =
+ fun desc status owner loc_a before_a after_a loc_b before_b after_b ->
+  (* As in [help_casn], the acquire loops return true iff this call's
+     CAS decided the status; [decided] runs after, outside the
+     closures, so the fault-free hot path allocates exactly what it
+     did before the crash layer existed. *)
   let rec acquire_a () =
     if Atomic.get status = Undecided then
       let cur = Atomic.get loc_a.state in
@@ -202,15 +317,19 @@ and help_dcas2 :
             if
               Atomic.compare_and_set loc_a.state cur
                 (Owned { desc; before = before_a; after = after_a; orig = cur })
-            then acquire_b ()
+            then begin
+              published desc;
+              acquire_b ()
+            end
             else acquire_a ()
-          else ignore (Atomic.compare_and_set status Undecided Failed)
+          else Atomic.compare_and_set status Undecided Failed
+    else false
   and acquire_b () =
     if Atomic.get status = Undecided then
       let cur = Atomic.get loc_b.state in
       match cur with
       | Owned { desc = d; _ } when d == desc ->
-          ignore (Atomic.compare_and_set status Undecided Succeeded)
+          Atomic.compare_and_set status Undecided Succeeded
       | Owned { desc = d; _ } ->
           if Atomic.get (status_of d) = Undecided then help d
           else release_one loc_b cur;
@@ -220,17 +339,32 @@ and help_dcas2 :
             if
               Atomic.compare_and_set loc_b.state cur
                 (Owned { desc; before = before_b; after = after_b; orig = cur })
-            then ignore (Atomic.compare_and_set status Undecided Succeeded)
+            then begin
+              published desc;
+              Atomic.compare_and_set status Undecided Succeeded
+            end
             else acquire_b ()
-          else ignore (Atomic.compare_and_set status Undecided Failed)
+          else Atomic.compare_and_set status Undecided Failed
+    else false
   in
-  acquire_a ();
+  if acquire_a () then decided owner;
   (match Atomic.get loc_a.state with
   | Owned { desc = d; _ } as cur when d == desc -> release_one loc_a cur
   | Value _ | Owned _ -> ());
   match Atomic.get loc_b.state with
   | Owned { desc = d; _ } as cur when d == desc -> release_one loc_b cur
   | Value _ | Owned _ -> ()
+
+(* Complete every orphaned descriptor on the crashed owners' behalf:
+   the survivors' side of Theorems 3.1/4.1 made into an API.  Helping
+   an already-decided descriptor is a no-op (the acquire loop exits on
+   a decided status), so calling this after organic helping has
+   already completed some orphans is safe and counts nothing twice —
+   [helped_orphans] ticks only at the single successful status CAS. *)
+let help_orphans () =
+  let ds = Atomic.get orphan_registry in
+  List.iter help ds;
+  List.length ds
 
 let rec set loc v =
   Opstats.incr_write counters;
@@ -261,10 +395,12 @@ let doomed (type a) (loc : a loc) (expected : a) =
 (* Build the flat two-location descriptor, normalizing to ascending
    location-id order (the acquire order that bounds helping chains). *)
 let make_dcas2 l1 l2 o1 o2 n1 n2 =
+  let owner = self_id () in
   if l1.id < l2.id then
     Dcas2
       {
         status = Atomic.make Undecided;
+        owner;
         loc_a = l1;
         before_a = o1;
         after_a = n1;
@@ -276,6 +412,7 @@ let make_dcas2 l1 l2 o1 o2 n1 n2 =
     Dcas2
       {
         status = Atomic.make Undecided;
+        owner;
         loc_a = l2;
         before_a = o2;
         after_a = n2;
@@ -302,7 +439,7 @@ let dcas l1 l2 o1 o2 n1 n2 =
         let e1 = Entry { loc = l1; before = o1; after = n1 }
         and e2 = Entry { loc = l2; before = o2; after = n2 } in
         let entries = if l1.id < l2.id then [| e1; e2 |] else [| e2; e1 |] in
-        Casn { status = Atomic.make Undecided; entries }
+        Casn { status = Atomic.make Undecided; owner = self_id (); entries }
       end
     in
     help desc;
@@ -391,6 +528,7 @@ let casn cs =
           Dcas2
             {
               status = Atomic.make Undecided;
+              owner = self_id ();
               loc_a = la;
               before_a = oa;
               after_a = na;
@@ -399,7 +537,7 @@ let casn cs =
               after_b = nb;
             }
         end
-        else Casn { status = Atomic.make Undecided; entries }
+        else Casn { status = Atomic.make Undecided; owner = self_id (); entries }
       in
       help desc;
       let ok = Atomic.get (status_of desc) = Succeeded in

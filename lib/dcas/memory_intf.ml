@@ -38,6 +38,14 @@ type stats = {
           releases ({!Mem_lockfree}).  Elided releases — the location's
           logical value was unchanged, so the original block is
           reinstalled — do not count. *)
+  helped_orphans : int;
+      (** descriptors published by a domain since marked dead
+          ({!Mem_lockfree.mark_dead}) whose status was decided by a
+          {e surviving} domain — the helping protocol completing a
+          crashed thread's in-flight CASN (the fail-stop face of the
+          paper's Theorems 3.1/4.1).  Each orphaned descriptor is
+          counted exactly once, at the successful status CAS; always 0
+          when no domain has been marked dead. *)
 }
 
 (* Conversions to a flat count array, in the order of the field list
@@ -46,7 +54,7 @@ type stats = {
    the pair — when a counter is added is a compile-time error; this is
    what keeps wrappers like Mem_chaos's stats pass-through from
    silently dropping new counters. *)
-let stats_fields = 11
+let stats_fields = 12
 
 let to_counts
     {
@@ -61,6 +69,7 @@ let to_counts
       dcas2_hits;
       descriptor_allocs;
       value_allocs;
+      helped_orphans;
     } =
   [|
     reads;
@@ -74,6 +83,7 @@ let to_counts
     dcas2_hits;
     descriptor_allocs;
     value_allocs;
+    helped_orphans;
   |]
 
 let of_counts a =
@@ -91,6 +101,7 @@ let of_counts a =
     dcas2_hits = a.(8);
     descriptor_allocs = a.(9);
     value_allocs = a.(10);
+    helped_orphans = a.(11);
   }
 
 let stats_to_assoc s =
@@ -106,6 +117,7 @@ let stats_to_assoc s =
     ("dcas2_hits", s.dcas2_hits);
     ("descriptor_allocs", s.descriptor_allocs);
     ("value_allocs", s.value_allocs);
+    ("helped_orphans", s.helped_orphans);
   ]
 
 let empty_stats = of_counts (Array.make stats_fields 0)
@@ -123,7 +135,11 @@ let pp_stats ppf s =
      track them, so the other models' reports stay unchanged *)
   if s.dcas2_hits > 0 || s.descriptor_allocs > 0 || s.value_allocs > 0 then
     Format.fprintf ppf " alloc=dcas2:%d,desc:%d,value:%d" s.dcas2_hits
-      s.descriptor_allocs s.value_allocs
+      s.descriptor_allocs s.value_allocs;
+  (* the orphan counter appears only when crash injection marked a
+     domain dead, so fault-free reports stay unchanged *)
+  if s.helped_orphans > 0 then
+    Format.fprintf ppf " orphans-helped=%d" s.helped_orphans
 
 module type MEMORY = sig
   (** A linearizable shared memory providing the operations of Section 2:

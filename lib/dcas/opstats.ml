@@ -17,9 +17,11 @@ type bucket = int Atomic.t array
    successes, 4 = dcas fast-fails, 5 = injected spurious failures,
    6 = injected delays, 7 = injected freezes (5-7 used by Mem_chaos),
    8 = Dcas2 fast-path hits, 9 = descriptor allocations, 10 = Value
-   block allocations (8-10 used by Mem_lockfree).  The layout is the
-   field order of Memory_intf.stats: snapshot converts through
-   Memory_intf.of_counts, so the two can never drift apart silently. *)
+   block allocations (8-10 used by Mem_lockfree), 11 = orphaned
+   descriptors helped to completion by survivors (crash injection).
+   The layout is the field order of Memory_intf.stats: snapshot
+   converts through Memory_intf.of_counts, so the two can never drift
+   apart silently. *)
 
 let bucket_size = Memory_intf.stats_fields
 
@@ -61,6 +63,7 @@ let incr_freeze t = incr (bucket t) 7
 let incr_dcas2 t = incr (bucket t) 8
 let incr_desc_alloc t = incr (bucket t) 9
 let incr_value_alloc t = incr (bucket t) 10
+let incr_orphan t = incr (bucket t) 11
 
 let snapshot t : Memory_intf.stats =
   Mutex.lock t.mutex;

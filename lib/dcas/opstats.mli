@@ -39,6 +39,10 @@ val incr_value_alloc : t -> unit
 (** Count a fresh [Value] state-block allocation ({!Mem_lockfree});
     elided releases do not count. *)
 
+val incr_orphan : t -> unit
+(** Count an orphaned descriptor — published by a domain marked dead —
+    decided by a surviving helper ({!Mem_lockfree.mark_dead}). *)
+
 val snapshot : t -> Memory_intf.stats
 (** Sum of all domains' counters since creation or the last {!reset}. *)
 

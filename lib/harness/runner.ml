@@ -11,7 +11,10 @@
 type result = {
   per_thread : int array;  (* operations completed by each thread *)
   elapsed : float;  (* seconds between barrier release and last join *)
+  died : bool array;  (* which threads exited via Crash.Died *)
 }
+
+let deaths r = Array.fold_left (fun n d -> if d then n + 1 else n) 0 r.died
 
 let total r = Array.fold_left ( + ) 0 r.per_thread
 let throughput r = float_of_int (total r) /. r.elapsed
@@ -36,6 +39,7 @@ let run ?(seed = 0x5EED) ?watchdog ~threads ~duration body =
     | None -> fun ~tid:_ -> ()
     | Some w -> fun ~tid -> Watchdog.tick w ~tid
   in
+  let died = Array.make threads false in
   let worker tid () =
     let rng = rngs.(tid) in
     Atomic.incr started;
@@ -43,11 +47,15 @@ let run ?(seed = 0x5EED) ?watchdog ~threads ~duration body =
       Domain.cpu_relax ()
     done;
     let count = ref 0 in
-    while not (Atomic.get stop) do
-      body ~tid ~rng;
-      tick ~tid;
-      incr count
-    done;
+    (* a crash-injected death is a fail-stop fault under test, not an
+       error: record it and let the domain retire with its count *)
+    (try
+       while not (Atomic.get stop) do
+         body ~tid ~rng;
+         tick ~tid;
+         incr count
+       done
+     with Crash.Died -> died.(tid) <- true);
     per_thread.(tid) <- !count
   in
   let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
@@ -62,7 +70,7 @@ let run ?(seed = 0x5EED) ?watchdog ~threads ~duration body =
   List.iter Domain.join domains;
   let elapsed = Unix.gettimeofday () -. t0 in
   Option.iter (fun w -> ignore (Watchdog.stop w)) watchdog;
-  { per_thread; elapsed }
+  { per_thread; elapsed; died }
 
 (* Fixed-iteration variant: every thread performs exactly [iters]
    operations; used where operation counts must balance exactly (e.g.
@@ -83,10 +91,12 @@ let run_fixed ?(seed = 0x5EED) ?watchdog ~threads ~iters body =
     while Atomic.get started < threads do
       Domain.cpu_relax ()
     done;
-    for i = 1 to iters do
-      body ~tid ~rng ~i;
-      tick ~tid
-    done
+    try
+      for i = 1 to iters do
+        body ~tid ~rng ~i;
+        tick ~tid
+      done
+    with Crash.Died -> ()
   in
   let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
   while Atomic.get started < threads do

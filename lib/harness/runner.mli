@@ -9,10 +9,17 @@
 type result = {
   per_thread : int array;  (** operations completed by each thread *)
   elapsed : float;  (** seconds between barrier release and last join *)
+  died : bool array;
+      (** which threads exited early via {!Crash.Died} — a fail-stop
+          fault under test, not an error; their completed-op counts are
+          still in [per_thread] *)
 }
 
 val total : result -> int
 val throughput : result -> float
+
+val deaths : result -> int
+(** Number of threads that died ([Array] count of [died]). *)
 
 val run :
   ?seed:int ->

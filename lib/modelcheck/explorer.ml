@@ -292,3 +292,135 @@ let check_nonblocking ?(max_steps = 100_000) (scenario : Scenario.t) ~victim =
     end
   in
   try_stall 0
+
+(* Fail-stop crash check: like {!check_nonblocking}, the victim stops
+   for good after each of its reachable step counts — but here the
+   check continues past survivor completion into {e recovery}: a
+   survivor drains the structure to empty (helping any descriptor the
+   victim left undecided, exactly the orphan-helping path of the live
+   substrate) and the drained values must balance the completed
+   operations under crash-commit uncertainty — the victim's single
+   in-flight operation may or may not have taken effect, everything
+   else must conserve exactly. *)
+let check_crash ?(max_steps = 100_000) (scenario : Scenario.t) ~victim =
+  if victim < 0 || victim >= Array.length scenario.Scenario.threads then
+    invalid_arg "Explorer.check_crash: victim out of range";
+  (* how many steps does the victim take when scheduled greedily? *)
+  let victim_steps = ref 0 in
+  let count_decide _depth enabled =
+    match List.find_index (fun i -> i = victim) enabled with
+    | Some pos ->
+        incr victim_steps;
+        pos
+    | None -> 0
+  in
+  ignore (run_schedule ~max_steps scenario ~decide:count_decide);
+  let total = !victim_steps in
+  (* multiset difference: [remove x xs] = Some xs' iff x was in xs *)
+  let rec remove x = function
+    | [] -> None
+    | y :: ys when y = x -> Some ys
+    | y :: ys -> Option.map (fun ys' -> y :: ys') (remove x ys)
+  in
+  let conserves report drained =
+    (* values known pushed: the prefill plus every push that completed
+       (including the victim's recorded prefix) *)
+    let committed_pushes =
+      Array.to_list report.history
+      |> List.filter_map (fun e ->
+             match (e.Spec.History.op, e.Spec.History.result) with
+             | (Spec.Op.Push_right v | Spec.Op.Push_left v), Spec.Op.Okay ->
+                 Some v
+             | _ -> None)
+    in
+    let committed_pops =
+      Array.to_list report.history
+      |> List.filter_map (fun e ->
+             match e.Spec.History.result with
+             | Spec.Op.Got v -> Some v
+             | _ -> None)
+    in
+    (* the victim's in-flight operation, if it stopped mid-script *)
+    let victim_done =
+      Array.to_list report.history
+      |> List.filter (fun e -> e.Spec.History.thread = victim)
+      |> List.length
+    in
+    let in_flight = List.nth_opt scenario.Scenario.threads.(victim) victim_done in
+    let supply = scenario.Scenario.initial @ committed_pushes in
+    let consumed = committed_pops @ drained in
+    (* every consumed value comes from the supply (or the victim's
+       maybe-committed push), each unit at most once ... *)
+    let rec consume supply extra = function
+      | [] -> Some (supply, extra)
+      | v :: vs -> (
+          match remove v supply with
+          | Some supply' -> consume supply' extra vs
+          | None -> (
+              match extra with
+              | Some ((Spec.Op.Push_right w | Spec.Op.Push_left w) : int Spec.Op.op)
+                when w = v ->
+                  consume supply None vs
+              | _ -> None))
+    in
+    match consume supply in_flight consumed with
+    | None -> false
+    | Some (leftover, _) -> (
+        (* ... and, the structure now drained, every supplied value was
+           consumed — except at most one eaten by the victim's
+           maybe-committed in-flight pop *)
+        match leftover with
+        | [] -> true
+        | [ _ ] -> (
+            match in_flight with
+            | Some (Spec.Op.Pop_right | Spec.Op.Pop_left) -> true
+            | _ -> false)
+        | _ -> false)
+  in
+  let rec try_crash j =
+    if j > total then Ok total
+    else begin
+      let victim_taken = ref 0 in
+      let frozen i = i = victim && !victim_taken >= j in
+      let decide _depth enabled =
+        match List.find_index (fun i -> i = victim) enabled with
+        | Some pos when !victim_taken < j ->
+            incr victim_taken;
+            pos
+        | Some _ | None -> 0
+      in
+      (* the scenario is re-instantiated per run inside run_schedule,
+         so we rebuild the instance alongside it to drain afterwards:
+         run_schedule exposes no handle.  Re-run with a fresh instance
+         of our own instead. *)
+      match
+        let inst = Mem_model.unmonitored scenario.Scenario.instantiate in
+        let scenario' = { scenario with Scenario.instantiate = (fun () -> inst) } in
+        let report = run_schedule ~max_steps ~frozen scenario' ~decide in
+        (* recovery: a survivor drains to empty, helping as it goes *)
+        let drained = ref [] in
+        let rec drain () =
+          match Mem_model.unmonitored (fun () -> inst.Scenario.apply Spec.Op.Pop_left) with
+          | Spec.Op.Got v ->
+              drained := v :: !drained;
+              drain ()
+          | Spec.Op.Empty -> ()
+          | Spec.Op.Okay | Spec.Op.Full -> assert false
+        in
+        drain ();
+        (* final representation invariant, post-recovery *)
+        (match inst.Scenario.invariant with
+        | None -> ()
+        | Some chk -> (
+            match Mem_model.unmonitored chk with
+            | Ok () -> ()
+            | Error e -> raise (Invariant_violation e)));
+        conserves report (List.rev !drained)
+      with
+      | true -> try_crash (j + 1)
+      | false -> Error j
+      | exception Step_limit -> Error j
+      | exception Invariant_violation _ -> Error j
+    end
+  in
+  try_crash 0

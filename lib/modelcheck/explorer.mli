@@ -83,3 +83,19 @@ val check_nonblocking :
     finish anyway — the empirical face of the lock-freedom theorems.
     [Ok n] reports the number of stall points exercised; [Error j] the
     first stall point at which another thread failed to complete. *)
+
+val check_crash :
+  ?max_steps:int -> Scenario.t -> victim:int -> (int, int) result
+(** Fail-stop crash check (experiment E22): kill [victim] for good
+    after each of its reachable step counts and verify {e recovery},
+    not just progress — the survivors must complete, then a survivor
+    drains the structure to empty (helping any descriptor the victim
+    left undecided, the model-level orphan-helping path), the
+    representation invariant must hold afterwards, and the drained
+    values must balance the completed operations under crash-commit
+    uncertainty: the victim's single in-flight operation may or may
+    not have taken effect, everything else conserves exactly.  [Ok n]
+    reports the number of crash points exercised; [Error j] the first
+    crash point at which recovery failed.
+
+    @raise Invalid_argument if [victim] is out of range. *)

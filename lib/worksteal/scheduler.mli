@@ -6,7 +6,14 @@
 
     {!Make} is generic in the deque, so the restricted CAS-only ABP
     deque and the paper's general DCAS deques (by restriction) run
-    identical workloads — the comparison of experiment E8. *)
+    identical workloads — the comparison of experiment E8.
+
+    Robustness: task bodies run behind a per-task exception barrier (a
+    raising task no longer kills its worker and strands the pending
+    counter), and the supervised mode tolerates fail-stop worker
+    deaths with deque adoption and pending-counter reconciliation —
+    experiment E22; see {!Worksteal_intf.SCHEDULER.run_supervised} and
+    {!Supervisor}. *)
 
 module Make (D : Worksteal_intf.WORKSTEAL_DEQUE) : Worksteal_intf.SCHEDULER
 

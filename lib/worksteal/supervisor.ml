@@ -1,0 +1,131 @@
+(* Supervision machinery for crash-fault-tolerant work stealing.
+
+   The scheduler's supervised mode ([Scheduler.Make.run_supervised])
+   runs a monitor domain alongside the workers.  This module holds the
+   parts of that monitor that are independent of the deque: the policy
+   knobs, the run report, and — the subtle part — the quiescence
+   tracker that decides when leftover [pending] units are provably
+   phantom and may be written off.
+
+   Fault model (fail-stop, the paper's Section 1 "a process stops
+   forever"): a worker domain can die at any instrumented shared-memory
+   point, including mid-CASN with a published undecided descriptor
+   ({!Harness.Crash}).  A death can lose pending-task units in exactly
+   three ways, all bounded per death:
+
+   - the task it was {e executing} never finishes (1 unit);
+   - a child it was {e spawning} dies inside the push, so the increment
+     happened but the task may never have become visible (1 unit);
+   - a batch it had {e stolen} — popped from the victim, not yet
+     re-queued or run — vanishes with it (up to [steal_batch] units).
+
+   The deque the dead worker owned is NOT lost: the supervisor drains
+   it from the thief end (safe on every adapter, including ABP, whose
+   steal is multi-thief CAS) and hands the tasks to an epoch-fenced
+   replacement.  Only the units above remain, and they keep [pending]
+   above zero forever, which would hang termination detection.  The
+   quiescence tracker certifies the moment they are the ONLY thing
+   keeping [pending] up, so the supervisor can reconcile the counter
+   to zero without ever writing off a live task. *)
+
+type config = {
+  interval : float;
+      (* monitor poll period, seconds; also the sweep granularity of
+         the quiescence window *)
+  silence_after : float;
+      (* presume a worker dead when its tick counter has not moved for
+         this long; 0 disables silence detection (death certificates
+         from Crash.Died still trigger adoption) *)
+  quiet_sweeps : int;
+      (* consecutive frozen sweeps required before reconciling *)
+}
+
+let default = { interval = 0.002; silence_after = 0.25; quiet_sweeps = 3 }
+
+let validate c =
+  if not (c.interval > 0.) then
+    invalid_arg "Supervisor: interval must be > 0";
+  if c.silence_after < 0. then
+    invalid_arg "Supervisor: silence_after must be >= 0";
+  if c.quiet_sweeps < 1 then
+    invalid_arg "Supervisor: quiet_sweeps must be >= 1"
+
+type report = {
+  spawned : int;  (* tasks made pending, root included *)
+  executed : int;  (* task bodies run to completion (or caught raise) *)
+  raised : int;  (* bodies that raised; caught by the per-task barrier *)
+  killed : int;  (* workers that died via Crash.Died *)
+  presumed_dead : int;  (* silent workers adopted without a certificate *)
+  adopted : int;  (* tasks drained from adopted workers' deques *)
+  reconciled : int;  (* phantom pending units written off at quiescence *)
+  replacements : int;  (* replacement workers the supervisor spawned *)
+  orphans_helped : int;
+      (* orphaned descriptors helped to completion at the end of the
+         run (Dcas.Mem_lockfree.help_orphans) *)
+}
+
+let conserved r = r.spawned = r.executed + r.reconciled
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "spawned=%d executed=%d raised=%d killed=%d presumed-dead=%d adopted=%d \
+     reconciled=%d replacements=%d orphans-helped=%d"
+    r.spawned r.executed r.raised r.killed r.presumed_dead r.adopted
+    r.reconciled r.replacements r.orphans_helped
+
+(* --- Quiescence certification ---
+
+   The supervisor may reconcile [pending] to zero only when no live
+   task exists anywhere — queued, stolen-in-hand, or executing.  The
+   tracker certifies this from per-sweep observations alone:
+
+   - [pending], [executed] and [spawned] unchanged across the window
+     and no live worker [busy]: nothing ran, so deque contents were
+     frozen for the whole window;
+   - every live worker completed at least TWO full no-find steal scans
+     during the window: two completions inside the window mean at
+     least one scan ran entirely within it, and a full scan over
+     frozen, uncontended deques cannot miss a queued task.
+
+   Together: any queued task would have been found (contradiction),
+   any executing task would show as busy or move [executed], and any
+   task mid-spawn belongs to a busy worker.  So the remaining
+   [pending] units are exactly the dead workers' lost units. *)
+
+type quiescence = {
+  mutable prev : int * int * int;  (* pending, executed, spawned *)
+  mutable quiet : int;  (* consecutive frozen sweeps *)
+  mutable scans0 : int array;  (* live workers' scan counts at window start *)
+  mutable have_base : bool;
+}
+
+let quiescence () =
+  { prev = (-1, -1, -1); quiet = 0; scans0 = [||]; have_base = false }
+
+let restart q scans =
+  q.quiet <- 0;
+  q.scans0 <- Array.copy scans;
+  q.have_base <- true
+
+(* One sweep's observation.  [scans] holds the current full-scan
+   counters of the live (non-dead, non-retired) workers; its length
+   changes when the live set changes, which restarts the window.
+   Returns [true] when reconciliation is provably safe. *)
+let observe q ~pending ~executed ~spawned ~busy ~scans ~quiet_sweeps =
+  let snap = (pending, executed, spawned) in
+  let frozen = snap = q.prev && pending > 0 && not busy in
+  q.prev <- snap;
+  if
+    (not frozen)
+    || (not q.have_base)
+    || Array.length scans <> Array.length q.scans0
+  then begin
+    restart q scans;
+    false
+  end
+  else begin
+    q.quiet <- q.quiet + 1;
+    q.quiet >= quiet_sweeps
+    && Array.length scans > 0
+    && Array.for_all2 (fun now base -> now >= base + 2) scans q.scans0
+  end

@@ -1,0 +1,84 @@
+(** Supervision machinery for crash-fault-tolerant work stealing:
+    policy knobs, the run report, and the quiescence tracker behind
+    [Scheduler.Make.run_supervised]'s pending-counter reconciliation.
+
+    Fault model: fail-stop ({!Harness.Crash}) — a worker dies for good
+    at a shared-memory point, possibly mid-CASN with a published
+    undecided descriptor.  The supervisor adopts the dead worker's
+    deque (drained from the thief end, safe on every adapter) into an
+    epoch-fenced replacement; what a death can actually lose is only
+    the task it was executing, a child mid-push, and a stolen batch in
+    hand — at most [steal_batch + 2] pending units per death, written
+    off by reconciliation once provably phantom. *)
+
+type config = {
+  interval : float;
+      (** monitor poll period in seconds (default 2ms); also the sweep
+          granularity of the quiescence window *)
+  silence_after : float;
+      (** presume a worker dead when its tick counter has not moved
+          for this long (default 0.25s); [0.] disables silence
+          detection — deaths certified by {!Harness.Crash.Died} still
+          trigger adoption.  A silent-but-alive worker adopted by
+          mistake becomes a {e zombie}: the epoch fence makes its
+          stale pushes run inline and it degrades to a thief. *)
+  quiet_sweeps : int;
+      (** consecutive frozen sweeps required before reconciling
+          (default 3) *)
+}
+
+val default : config
+
+val validate : config -> unit
+(** @raise Invalid_argument on non-positive [interval], negative
+    [silence_after], or [quiet_sweeps < 1]. *)
+
+type report = {
+  spawned : int;  (** tasks made pending, root included *)
+  executed : int;  (** task bodies run to completion (or caught raise) *)
+  raised : int;  (** bodies that raised — caught by the per-task barrier *)
+  killed : int;  (** workers that died via {!Harness.Crash.Died} *)
+  presumed_dead : int;  (** silent workers adopted without a certificate *)
+  adopted : int;  (** tasks drained from adopted workers' deques *)
+  reconciled : int;  (** phantom pending units written off at quiescence *)
+  replacements : int;  (** replacement workers the supervisor spawned *)
+  orphans_helped : int;
+      (** orphaned descriptors helped to completion at the end of the
+          run ({!Dcas.Mem_lockfree.help_orphans}) *)
+}
+
+val conserved : report -> bool
+(** Task conservation: [spawned = executed + reconciled].  Holds for
+    every terminating supervised run; the E22 acceptance predicate. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+(** {2 Quiescence certification}
+
+    The supervisor may write off leftover [pending] units only when no
+    live task exists anywhere.  The tracker certifies this from
+    per-sweep observations: counters frozen and nobody busy for
+    [quiet_sweeps] sweeps, {e and} every live worker completed at
+    least two full no-find steal scans inside the frozen window (two
+    completions inside the window imply one scan ran entirely within
+    it, and a full scan over frozen deques cannot miss a queued
+    task). *)
+
+type quiescence
+
+val quiescence : unit -> quiescence
+
+val observe :
+  quiescence ->
+  pending:int ->
+  executed:int ->
+  spawned:int ->
+  busy:bool ->
+  scans:int array ->
+  quiet_sweeps:int ->
+  bool
+(** Record one supervisor sweep; [scans] are the live workers' full
+    no-find scan counters (a length change restarts the window) and
+    [busy] is true when any live worker is executing a task body.
+    Returns [true] when reconciling [pending] to zero is provably
+    safe. *)

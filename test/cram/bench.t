@@ -35,3 +35,15 @@ Malformed input is rejected.
   $ ../../bench/main.exe --check-json bad.json
   invalid JSON in bad.json: at 51: unexpected end of input
   [1]
+
+Quick E22 must pass the crash-recovery cross-checks: every supervised
+kill-k-of-n run conserves tasks exactly (spawned = executed +
+reconciled), terminates without the watchdog firing, helps every
+descriptor orphaned by a mid-CASN death, and lands exactly the
+targeted number of kills (see check_e22 in bench/main.ml).
+
+  $ ../../bench/main.exe --quick e22 --json e22.json > /dev/null
+  $ ../../bench/main.exe --check-json e22.json
+  schema: dcas-deques-bench/1
+  e22: 5 rows
+  e22 invariants: ok

@@ -184,6 +184,34 @@ let merge_completeness_tests =
               ~freeze_prob:1.0 ~freeze_spins:2 ~seed:5 ();
             ignore (CW.dcas a b 10 20 11 21);
             ignore (CW.get a));
+        (* helped_orphans: a crash-injected victim dies mid-CASN with a
+           published descriptor and the surviving (main) domain helps
+           it to completion *)
+        let module CM = Harness.Crash.Mem_crashing_casn (Dcas.Mem_lockfree) in
+        Harness.Crash.reset ();
+        let x = CM.make 0 and y = CM.make 0 in
+        let warm = Atomic.make false in
+        let victim =
+          Domain.spawn (fun () ->
+              Harness.Crash.enroll ~tid:0;
+              try
+                let i = ref 0 in
+                while true do
+                  ignore (CM.dcas x y (CM.get x) (CM.get y) !i (!i + 1));
+                  Atomic.set warm true;
+                  incr i
+                done
+              with Harness.Crash.Died -> ())
+        in
+        while not (Atomic.get warm) do
+          Domain.cpu_relax ()
+        done;
+        Harness.Crash.kill ~mode:`Mid_casn ~tid:0 ();
+        Domain.join victim;
+        Alcotest.(check int)
+          "victim left one orphan" 1
+          (Dcas.Mem_lockfree.help_orphans ());
+        Harness.Crash.reset ();
         let counts = Dcas.Memory_intf.to_counts (CW.stats ()) in
         let assoc = Dcas.Memory_intf.stats_to_assoc (CW.stats ()) in
         Array.iteri

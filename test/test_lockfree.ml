@@ -59,6 +59,57 @@ let test_dummy_nonblocking () =
   assert_nonblocking "dummy, victim 0" scenario ~victim:0;
   assert_nonblocking "dummy, victim 1" scenario ~victim:1
 
+(* --- E22 model-checker leg: fail-stop instead of freeze ---
+
+   The victim is killed for good at every reachable crash point —
+   including mid-CASN with an installed descriptor — and beyond the
+   survivors completing, the structure must be fully recoverable: a
+   survivor drains it to empty (helping the victim's orphaned
+   descriptor on the way) and the contents balance the completed
+   operations up to the victim's single maybe-committed operation. *)
+
+let assert_crash_recovers name scenario ~victim =
+  match Modelcheck.Explorer.check_crash scenario ~victim with
+  | Ok crash_points ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: recovered at all %d crash points" name
+           crash_points)
+        true (crash_points > 0)
+  | Error j -> Alcotest.failf "%s: unrecovered at crash point %d" name j
+
+let test_array_crash_recovery () =
+  let scenario =
+    Modelcheck.Scenario.array_deque ~name:"cr-array" ~length:3 ~prefill:[ 1 ]
+      [ [ Pop_right; Push_right 2 ]; [ Pop_left ]; [ Push_left 3 ] ]
+  in
+  assert_crash_recovers "array, victim 0" scenario ~victim:0;
+  assert_crash_recovers "array, victim 1" scenario ~victim:1
+
+let test_list_crash_recovery () =
+  let scenario =
+    Modelcheck.Scenario.list_deque ~name:"cr-list" ~prefill:[ 1; 2 ]
+      [ [ Pop_right; Push_right 3 ]; [ Pop_left ]; [ Push_left 4 ] ]
+  in
+  assert_crash_recovers "list, victim 0" scenario ~victim:0;
+  assert_crash_recovers "list, victim 1" scenario ~victim:1
+
+let test_dummy_crash_recovery () =
+  let scenario =
+    Modelcheck.Scenario.list_deque_dummy ~name:"cr-dummy" ~prefill:[ 1; 2 ]
+      ~setup:[ Pop_right; Pop_left ]
+      [ [ Push_right 3 ]; [ Push_left 4 ] ]
+  in
+  assert_crash_recovers "dummy, victim 0" scenario ~victim:0;
+  assert_crash_recovers "dummy, victim 1" scenario ~victim:1
+
+let test_casn_crash_recovery () =
+  let scenario =
+    Modelcheck.Scenario.list_deque_casn ~name:"cr-casn" ~prefill:[ 1; 2 ]
+      [ [ Pop_right; Push_right 3 ]; [ Pop_left ] ]
+  in
+  assert_crash_recovers "casn, victim 0" scenario ~victim:0;
+  assert_crash_recovers "casn, victim 1" scenario ~victim:1
+
 (* --- Real domains: stall injection --- *)
 
 (* The lock-free deque over the stall-instrumented memory: a victim
@@ -346,6 +397,13 @@ let () =
           Alcotest.test_case "list deque deletions" `Slow
             test_list_nonblocking_deletion_phase;
           Alcotest.test_case "dummy variant" `Slow test_dummy_nonblocking;
+        ] );
+      ( "model-checked crash recovery",
+        [
+          Alcotest.test_case "array deque" `Slow test_array_crash_recovery;
+          Alcotest.test_case "list deque" `Slow test_list_crash_recovery;
+          Alcotest.test_case "dummy variant" `Slow test_dummy_crash_recovery;
+          Alcotest.test_case "casn variant" `Slow test_casn_crash_recovery;
         ] );
       ( "real-domain stalls (E9/E14)",
         [
