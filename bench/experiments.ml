@@ -1650,6 +1650,355 @@ let e22 ~quick =
     degree depth leaves
 
 (* ------------------------------------------------------------------ *)
+(* E23: cross-algorithm shootout — the paper's DCAS deques against     *)
+(* the single-word-CAS competitors                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Uniform role-aware handle over the five competitors.  The general
+   deques run the full mix on every domain; ABP restricts mutation to
+   the owner (tid 0) — thief domains convert every draw into a steal,
+   the scheduler-shaped workload the structure was designed for. *)
+type shoot_inst = {
+  sh_op : tid:int -> Harness.Workload.kind -> [ `Pushed | `Popped | `Miss ];
+  sh_drain : unit -> int;  (* items left behind, drained quiescently *)
+}
+
+type shooter = {
+  sh_name : string;
+  sh_setup : unit -> unit;  (* substrate flags (the dcas2 ablation) *)
+  sh_make : unit -> shoot_inst;
+  sh_words : unit -> float;  (* minor words per op, quiescent push+pop *)
+}
+
+let e23_prefill = 128
+let e23_capacity = 512
+
+let e23_shooters : shooter list =
+  let general (type t) name ?(setup = fun () -> ()) ~(create : unit -> t)
+      ~(push_right : t -> int -> Deque.Deque_intf.push_result)
+      ~(push_left : t -> int -> Deque.Deque_intf.push_result)
+      ~(pop_right : t -> int Deque.Deque_intf.pop_result)
+      ~(pop_left : t -> int Deque.Deque_intf.pop_result) () =
+    {
+      sh_name = name;
+      sh_setup = setup;
+      sh_make =
+        (fun () ->
+          let d = create () in
+          for i = 1 to e23_prefill do
+            ignore (if i mod 2 = 0 then push_right d i else push_left d i)
+          done;
+          {
+            sh_op =
+              (fun ~tid:_ kind ->
+                match kind with
+                | Harness.Workload.Push_right ->
+                    if push_right d 1 = `Okay then `Pushed else `Miss
+                | Harness.Workload.Push_left ->
+                    if push_left d 1 = `Okay then `Pushed else `Miss
+                | Harness.Workload.Pop_right -> (
+                    match pop_right d with `Value _ -> `Popped | `Empty -> `Miss)
+                | Harness.Workload.Pop_left -> (
+                    match pop_left d with `Value _ -> `Popped | `Empty -> `Miss));
+            sh_drain =
+              (fun () ->
+                let n = ref 0 in
+                let rec go () =
+                  match pop_left d with
+                  | `Value _ ->
+                      incr n;
+                      go ()
+                  | `Empty -> ()
+                in
+                go ();
+                !n);
+          });
+      sh_words =
+        (fun () ->
+          setup ();
+          let d = create () in
+          minor_words_per_op ~n:20_000 (fun () ->
+              ignore (push_right d 1);
+              ignore (pop_right d))
+          /. 2.);
+    }
+  in
+  [
+    (let module L = Deque.List_deque.Lockfree in
+    general "dcas-list/dcas2"
+      ~setup:(fun () -> Dcas.Mem_lockfree.set_dcas2_enabled true)
+      ~create:(fun () -> L.make ())
+      ~push_right:L.push_right ~push_left:L.push_left ~pop_right:L.pop_right
+      ~pop_left:L.pop_left ());
+    (let module L = Deque.List_deque.Lockfree in
+    general "dcas-list/generic"
+      ~setup:(fun () -> Dcas.Mem_lockfree.set_dcas2_enabled false)
+      ~create:(fun () -> L.make ())
+      ~push_right:L.push_right ~push_left:L.push_left ~pop_right:L.pop_right
+      ~pop_left:L.pop_left ());
+    (let module D = Baselines.St_deque in
+    general "st-deque"
+      ~create:(fun () -> D.make ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left ());
+    (let module D = Baselines.Lock_deque in
+    general "lock"
+      ~create:(fun () -> D.create ~capacity:e23_capacity ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left ());
+    (let module A = Baselines.Abp_deque in
+    {
+      sh_name = "abp";
+      sh_setup = (fun () -> ());
+      sh_make =
+        (fun () ->
+          let d = A.create ~capacity:e23_capacity () in
+          for i = 1 to e23_prefill do
+            ignore (A.push_bottom d i)
+          done;
+          {
+            sh_op =
+              (fun ~tid kind ->
+                if tid = 0 then
+                  match kind with
+                  | Harness.Workload.Push_right | Harness.Workload.Push_left ->
+                      if A.push_bottom d 1 = `Okay then `Pushed else `Miss
+                  | Harness.Workload.Pop_right | Harness.Workload.Pop_left -> (
+                      match A.pop_bottom d with
+                      | `Value _ -> `Popped
+                      | `Empty -> `Miss)
+                else
+                  match A.steal_retry d with
+                  | `Value _ -> `Popped
+                  | `Empty -> `Miss);
+            sh_drain =
+              (fun () ->
+                let n = ref 0 in
+                let rec go () =
+                  match A.pop_bottom d with
+                  | `Value _ ->
+                      incr n;
+                      go ()
+                  | `Empty -> ()
+                in
+                go ();
+                !n);
+          });
+      sh_words =
+        (fun () ->
+          let d = A.create ~capacity:e23_capacity () in
+          minor_words_per_op ~n:20_000 (fun () ->
+              ignore (A.push_bottom d 1);
+              ignore (A.pop_bottom d))
+          /. 2.);
+    });
+  ]
+
+(* The empirical lock-freedom probe on the competitor: the ST deque
+   over the freezer-instrumented memory (via the one-entry-casn shim),
+   two of three domains parked mid-operation, the survivor must still
+   complete its quota. *)
+module Probe_mem = Harness.Stall.Mem_stalling_casn (Dcas.Mem_lockfree)
+module Probe_st = Baselines.St_deque.Make (Baselines.St_deque.Of_casn (Probe_mem))
+
+let e23_frozen_probe () =
+  Harness.Stall.Freezer.reset ();
+  let d = Probe_st.make () in
+  for i = 1 to 16 do
+    ignore (Probe_st.push_right d i)
+  done;
+  let threads = 3 in
+  let target_ops = 1_000 in
+  let stop = Atomic.make false in
+  let counts = Array.init threads (fun _ -> Dcas.Padding.make_atomic 0) in
+  let worker tid () =
+    Harness.Stall.Freezer.enroll ~tid;
+    let rng = Harness.Splitmix.create ~seed:(0xE23 + tid) in
+    while not (Atomic.get stop) do
+      (match Harness.Workload.draw Harness.Workload.balanced rng with
+      | Harness.Workload.Push_right -> ignore (Probe_st.push_right d 1)
+      | Harness.Workload.Push_left -> ignore (Probe_st.push_left d 1)
+      | Harness.Workload.Pop_right -> ignore (Probe_st.pop_right d)
+      | Harness.Workload.Pop_left -> ignore (Probe_st.pop_left d));
+      Atomic.incr counts.(tid)
+    done
+  in
+  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  let deadline = Unix.gettimeofday () +. 30. in
+  while
+    Array.exists (fun c -> Atomic.get c < 10) counts
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.002
+  done;
+  for tid = 1 to threads - 1 do
+    Harness.Stall.Freezer.freeze ~tid
+  done;
+  while
+    Harness.Stall.Freezer.frozen_now () < threads - 1
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.002
+  done;
+  let c0 = Atomic.get counts.(0) in
+  let t0 = Unix.gettimeofday () in
+  while
+    Atomic.get counts.(0) < c0 + target_ops
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.001
+  done;
+  let survivor_ops = Atomic.get counts.(0) - c0 in
+  let dt = Unix.gettimeofday () -. t0 in
+  let parks = Harness.Stall.Freezer.freeze_hits () in
+  Harness.Stall.Freezer.thaw_all ();
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  Harness.Stall.Freezer.reset ();
+  let completed = survivor_ops >= target_ops in
+  let tp = if dt > 0. then float_of_int survivor_ops /. dt else 0. in
+  emit_json
+    (Harness.Json.Obj
+       [
+         ("experiment", Harness.Json.String "e23");
+         ("section", Harness.Json.String "frozen");
+         ("backend", Harness.Json.String "st-deque");
+         ("domains", Harness.Json.Int threads);
+         ("frozen", Harness.Json.Int (threads - 1));
+         ("survivor_ops", Harness.Json.Int survivor_ops);
+         ("parks", Harness.Json.Int parks);
+         ("ops_per_sec", Harness.Json.Float tp);
+         ("completed", Harness.Json.Int (if completed then 1 else 0));
+       ]);
+  [
+    "st-deque";
+    Printf.sprintf "%d of %d frozen" (threads - 1) threads;
+    fmt_tp tp;
+    string_of_int survivor_ops;
+    string_of_int parks;
+    (if completed then "ok" else "STUCK");
+  ]
+
+let e23 ~quick =
+  header
+    "E23 cross-algorithm shootout: DCAS deques vs single-word-CAS competitors";
+  let duration = dur ~quick 0.3 in
+  let finite f = if Float.is_finite f then f else 0. in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let mixes =
+    [
+      ("balanced", Harness.Workload.balanced);
+      ("push-heavy", Harness.Workload.push_heavy);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun sh ->
+        let words = sh.sh_words () in
+        List.concat_map
+          (fun (mix_name, mix) ->
+            List.map
+              (fun threads ->
+                sh.sh_setup ();
+                let inst = sh.sh_make () in
+                let pushed = Dcas.Padding.make_atomic 0 in
+                let popped = Dcas.Padding.make_atomic 0 in
+                let hists =
+                  Array.init threads (fun _ ->
+                      Fixed_histogram.create ~width_ns:50. ~buckets:32768 ())
+                in
+                let group = 64 in
+                let r =
+                  Harness.Runner.run ~threads ~duration (fun ~tid ~rng ->
+                      let t0 = Harness.Metrics.now () in
+                      let pu = ref 0 and po = ref 0 in
+                      for _ = 1 to group do
+                        match inst.sh_op ~tid (Harness.Workload.draw mix rng) with
+                        | `Pushed -> incr pu
+                        | `Popped -> incr po
+                        | `Miss -> ()
+                      done;
+                      let dt_ns = (Harness.Metrics.now () -. t0) *. 1e9 in
+                      Fixed_histogram.add hists.(tid)
+                        ~ns:(dt_ns /. float_of_int group);
+                      ignore (Atomic.fetch_and_add pushed !pu);
+                      ignore (Atomic.fetch_and_add popped !po))
+                in
+                let remaining = inst.sh_drain () in
+                let run_pushed = Atomic.get pushed in
+                let total_pushed = run_pushed + e23_prefill in
+                let popped = Atomic.get popped in
+                let conserved = total_pushed = popped + remaining in
+                let tp =
+                  float_of_int (run_pushed + popped) /. r.Harness.Runner.elapsed
+                in
+                let h =
+                  Array.fold_left Fixed_histogram.merge hists.(0)
+                    (Array.sub hists 1 (threads - 1))
+                in
+                let q p =
+                  if Fixed_histogram.count h = 0 then 0.
+                  else finite (Fixed_histogram.quantile_ns h p)
+                in
+                let p50 = q 0.5 and p99 = q 0.99 in
+                emit_json
+                  (Harness.Json.Obj
+                     [
+                       ("experiment", Harness.Json.String "e23");
+                       ("section", Harness.Json.String "shootout");
+                       ("backend", Harness.Json.String sh.sh_name);
+                       ("mix", Harness.Json.String mix_name);
+                       ("domains", Harness.Json.Int threads);
+                       ("ops_per_sec", Harness.Json.Float tp);
+                       ("p50_ns", Harness.Json.Float p50);
+                       ("p99_ns", Harness.Json.Float p99);
+                       ("minor_words_per_op", Harness.Json.Float words);
+                       ("pushed", Harness.Json.Int total_pushed);
+                       ("popped", Harness.Json.Int popped);
+                       ("remaining", Harness.Json.Int remaining);
+                       ( "conserved",
+                         Harness.Json.Int (if conserved then 1 else 0) );
+                     ]);
+                [
+                  sh.sh_name;
+                  mix_name;
+                  string_of_int threads;
+                  fmt_tp tp;
+                  fmt_ns p50;
+                  fmt_ns p99;
+                  Printf.sprintf "%.1f" words;
+                  (if conserved then "ok"
+                   else
+                     Printf.sprintf "VIOLATED %d<>%d+%d" total_pushed popped
+                       remaining);
+                ])
+              domain_counts)
+          mixes)
+      e23_shooters
+  in
+  Dcas.Mem_lockfree.set_dcas2_enabled true;
+  Harness.Table.print
+    ~headers:
+      [
+        "backend"; "mix"; "domains"; "ops/s"; "p50/op"; "p99/op"; "minor w/op";
+        "conserved";
+      ]
+    rows;
+  note
+    "%d-item prefill, %.2fs per cell; ABP runs owner-only mutation with\n\
+     thieves stealing; 'minor w/op' is a quiescent single-domain\n\
+     push+pop average; conservation counts prefill + successful pushes\n\
+     against successful pops + the drained remainder"
+    e23_prefill duration;
+  Harness.Table.print
+    ~headers:[ "backend"; "adversary"; "ops/s"; "survivor ops"; "parks"; "lock-free" ]
+    [ e23_frozen_probe () ];
+  note
+    "frozen-peer probe: ST deque over the freezer-instrumented memory;\n\
+     the survivor must complete 1000 operations while both peers sit\n\
+     parked mid-operation at a shared-memory access point"
+
+(* ------------------------------------------------------------------ *)
 
 type experiment = { id : string; title : string; run : quick:bool -> unit }
 
@@ -1682,5 +2031,10 @@ let all : experiment list =
       id = "e22";
       title = "crash-fault tolerance: kill k of n supervised workers";
       run = e22;
+    };
+    {
+      id = "e23";
+      title = "cross-algorithm shootout: DCAS vs single-word-CAS";
+      run = e23;
     };
   ]

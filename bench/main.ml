@@ -196,6 +196,72 @@ let check_e22 rows =
     rows;
   Printf.printf "e22 invariants: ok\n"
 
+(* E23 is the shootout acceptance gate: every backend row — the two
+   DCAS substrate paths, the ST single-word-CAS competitor, ABP and
+   the lock baseline — must conserve items exactly across every
+   domain count and mix, the histogram quantiles must be ordered, and
+   the frozen-peer probe must show the ST deque completing its quota
+   with all peers parked (the lock-freedom differentiator a lock-based
+   row could never pass). *)
+let check_e23 rows =
+  let open Harness.Json in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "e23 invariant violated: %s\n" m;
+        exit 1)
+      fmt
+  in
+  let str k r = Option.value ~default:"?" (string_value (member k r)) in
+  let num k r =
+    match number_value (member k r) with
+    | Some v -> v
+    | None -> fail "row %S lacks numeric %S" (str "backend" r) k
+  in
+  let int_of k r = int_of_float (num k r) in
+  let section s r = str "section" r = s in
+  let shootout = List.filter (section "shootout") rows in
+  let frozen = List.filter (section "frozen") rows in
+  let backends =
+    [ "dcas-list/dcas2"; "dcas-list/generic"; "st-deque"; "lock"; "abp" ]
+  in
+  if List.length shootout <> List.length backends * 2 * 4 then
+    fail "expected %d shootout rows, got %d"
+      (List.length backends * 2 * 4)
+      (List.length shootout);
+  List.iter
+    (fun b ->
+      if not (List.exists (fun r -> str "backend" r = b) shootout) then
+        fail "backend %s missing from the shootout" b)
+    backends;
+  List.iter
+    (fun r ->
+      let label =
+        Printf.sprintf "%s/%s/%d domains" (str "backend" r) (str "mix" r)
+          (int_of "domains" r)
+      in
+      if int_of "conserved" r <> 1 then
+        fail "%s: %d pushed <> %d popped + %d remaining" label
+          (int_of "pushed" r) (int_of "popped" r) (int_of "remaining" r);
+      if num "p50_ns" r > num "p99_ns" r then
+        fail "%s: p50 %.0fns above p99 %.0fns" label (num "p50_ns" r)
+          (num "p99_ns" r);
+      if not (num "ops_per_sec" r > 0.) then fail "%s: no throughput" label)
+    shootout;
+  (match frozen with
+  | [ r ] ->
+      if int_of "completed" r <> 1 then
+        fail "frozen-peer probe: survivor completed only %d ops"
+          (int_of "survivor_ops" r);
+      if int_of "survivor_ops" r < 1_000 then
+        fail "frozen-peer probe: %d survivor ops below the 1000 quota"
+          (int_of "survivor_ops" r);
+      if int_of "parks" r < int_of "frozen" r then
+        fail "frozen-peer probe: only %d parks for %d frozen peers"
+          (int_of "parks" r) (int_of "frozen" r)
+  | l -> fail "expected exactly 1 frozen-probe row, got %d" (List.length l));
+  Printf.printf "e23 invariants: ok\n"
+
 (* Parse a --json document back and print a deterministic summary; the
    cram test uses this as the round-trip check. *)
 let check_json file =
@@ -237,7 +303,8 @@ let check_json file =
                 rows;
               Printf.printf "%s: %d rows\n" id (List.length rows);
               if id = "e21" then check_e21 rows;
-              if id = "e22" then check_e22 rows)
+              if id = "e22" then check_e22 rows;
+              if id = "e23" then check_e23 rows)
         (to_list (member "experiments" doc))
 
 let main quick json_file check ids =
@@ -265,7 +332,7 @@ let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let cmd =
-  let doc = "DCAS deque experiment tables (E1-E21)" in
+  let doc = "DCAS deque experiment tables (E1-E23)" in
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(const main $ quick $ json_file $ check $ ids)

@@ -114,25 +114,34 @@ let scenario_of ~algo ~length ~prefill ~setup ~chaos_fail ~chaos_freeze
         (Modelcheck.Scenario.list_deque_chaos ~fail_prob:chaos_fail
            ~freeze_prob:chaos_freeze ~freeze_spins:chaos_freeze_spins
            ~chaos_seed ~name:"cli" ~prefill ~setup threads)
+  | "st" -> Ok (Modelcheck.Scenario.st_deque ~name:"cli" ~prefill ~setup threads)
+  | "st-chaos" ->
+      Ok
+        (Modelcheck.Scenario.st_deque_chaos ~fail_prob:chaos_fail
+           ~freeze_prob:chaos_freeze ~freeze_spins:chaos_freeze_spins
+           ~chaos_seed ~name:"cli" ~prefill ~setup threads)
+  | "st-broken" ->
+      Ok (Modelcheck.Scenario.st_deque_buggy ~name:"cli" ~prefill ~setup threads)
   | other -> Error ("unknown algorithm: " ^ other)
 
 (* Injected-fault counters for the run summary (list-chaos only; the
    other algorithms never touch the chaos substrate). *)
 let print_chaos_summary ~algo =
-  if algo = "list-chaos" then begin
+  if algo = "list-chaos" || algo = "st-chaos" then begin
     let s = Modelcheck.Scenario.chaos_stats () in
     Printf.printf "chaos: spurious=%d delays=%d frozen-ops=%d\n%!"
       s.Dcas.Memory_intf.chaos_spurious s.Dcas.Memory_intf.chaos_delays
       s.Dcas.Memory_intf.chaos_freezes
   end
 
-let run_fuzz scenario ~runs ~seed ~strategy ~shrink =
+let run_fuzz scenario ~runs ~seed ~strategy ~shrink ~max_steps =
   (* The watchdog converts a hung schedule (e.g. a planted livelock
      reached under fault injection) into a diagnostic on stderr and a
      distinct exit code instead of a silent CI timeout. *)
   let watchdog = Harness.Watchdog.create ~stall_after:10. ~threads:1 () in
   let report =
-    Modelcheck.Fuzz.run ~watchdog ~shrink ~runs ~seed ~strategy scenario
+    Modelcheck.Fuzz.run ~max_steps ~watchdog ~shrink ~runs ~seed ~strategy
+      scenario
   in
   Format.printf "%a@." Modelcheck.Fuzz.pp_report report;
   if Harness.Watchdog.fired watchdog then begin
@@ -142,8 +151,8 @@ let run_fuzz scenario ~runs ~seed ~strategy ~shrink =
   end
   else match report.Modelcheck.Fuzz.violation with None -> 0 | Some _ -> 1
 
-let run_replay scenario token =
-  match Modelcheck.Fuzz.replay scenario ~token with
+let run_replay scenario token ~max_steps =
+  match Modelcheck.Fuzz.replay ~max_steps scenario ~token with
   | Error e ->
       prerr_endline e;
       2
@@ -156,8 +165,8 @@ let run_replay scenario token =
       1
 
 let run algo length prefill setup threads sample seed victim crash
-    max_schedules fuzz pct depth no_shrink replay chaos_fail chaos_freeze
-    chaos_freeze_spins chaos_seed =
+    max_schedules max_steps fuzz pct depth no_shrink replay chaos_fail
+    chaos_freeze chaos_freeze_spins chaos_seed =
   match
     scenario_of ~algo ~length ~prefill ~setup ~chaos_fail ~chaos_freeze
       ~chaos_freeze_spins ~chaos_seed ~threads
@@ -169,7 +178,7 @@ let run algo length prefill setup threads sample seed victim crash
       let code =
         match (crash, victim, replay, pct, fuzz, sample) with
       | Some v, _, _, _, _, _ -> (
-          match Modelcheck.Explorer.check_crash scenario ~victim:v with
+          match Modelcheck.Explorer.check_crash ~max_steps scenario ~victim:v with
           | Ok n ->
               Printf.printf
                 "crash-recovery: survivors completed, drained and conserved \
@@ -180,7 +189,9 @@ let run algo length prefill setup threads sample seed victim crash
               Printf.printf "UNRECOVERED: crash point %d broke recovery\n" j;
               1)
       | None, Some v, _, _, _, _ -> (
-          match Modelcheck.Explorer.check_nonblocking scenario ~victim:v with
+          match
+            Modelcheck.Explorer.check_nonblocking ~max_steps scenario ~victim:v
+          with
           | Ok n ->
               Printf.printf
                 "non-blocking: all other threads completed at every one of \
@@ -190,19 +201,22 @@ let run algo length prefill setup threads sample seed victim crash
           | Error j ->
               Printf.printf "BLOCKED: stall point %d prevented completion\n" j;
               1)
-      | None, None, Some token, _, _, _ -> run_replay scenario token
+      | None, None, Some token, _, _, _ -> run_replay scenario token ~max_steps
       | None, None, None, Some runs, _, _ ->
           run_fuzz scenario ~runs ~seed
             ~strategy:(Modelcheck.Fuzz.Pct depth)
-            ~shrink:(not no_shrink)
+            ~shrink:(not no_shrink) ~max_steps
       | None, None, None, None, Some runs, _ ->
           run_fuzz scenario ~runs ~seed ~strategy:Modelcheck.Fuzz.Uniform
-            ~shrink:(not no_shrink)
+            ~shrink:(not no_shrink) ~max_steps
       | None, None, None, None, None, sample -> (
           let outcome =
             match sample with
-            | Some n -> Modelcheck.Explorer.sample ~schedules:n ~seed scenario
-            | None -> Modelcheck.Explorer.explore ~max_schedules scenario
+            | Some n ->
+                Modelcheck.Explorer.sample ~max_steps ~schedules:n ~seed
+                  scenario
+            | None ->
+                Modelcheck.Explorer.explore ~max_steps ~max_schedules scenario
           in
           Format.printf "%a@." Modelcheck.Explorer.pp_outcome outcome;
           match outcome.Modelcheck.Explorer.error with
@@ -220,8 +234,9 @@ let algo =
         ~doc:
           "Algorithm: array, array-no-hints, array-batched (ops as width-1 \
            batches), list, list-recycle, list-batched, dummy, 3cas, \
-           greenwald1, greenwald2, list-broken (deliberately buggy), \
-           list-chaos (fault injection).")
+           greenwald1, greenwald2, st (Sundell-Tsigas single-word CAS), \
+           list-broken, st-broken (deliberately buggy), list-chaos, st-chaos \
+           (fault injection).")
 
 let length =
   Arg.(
@@ -347,13 +362,24 @@ let max_schedules =
     & opt int 2_000_000
     & info [ "max-schedules" ] ~docv:"N" ~doc:"DFS budget.")
 
+let max_steps =
+  Arg.(
+    value
+    & opt int 100_000
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:
+          "Per-schedule shared-memory step budget; exceeding it is reported \
+           as a (liveness) violation.  Lower it to make livelock hunts — \
+           e.g. the planted st-broken — terminate quickly.")
+
 let cmd =
   let doc = "explore interleavings of deque operations (bounded model checking)" in
   Cmd.v
     (Cmd.info "explore" ~doc)
     Term.(
       const run $ algo $ length $ prefill $ setup $ threads $ sample $ seed
-      $ victim $ crash $ max_schedules $ fuzz $ pct $ depth $ no_shrink
-      $ replay $ chaos_fail $ chaos_freeze $ chaos_freeze_spins $ chaos_seed)
+      $ victim $ crash $ max_schedules $ max_steps $ fuzz $ pct $ depth
+      $ no_shrink $ replay $ chaos_fail $ chaos_freeze $ chaos_freeze_spins
+      $ chaos_seed)
 
 let () = exit (Cmd.eval' cmd)

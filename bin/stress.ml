@@ -124,6 +124,11 @@ let impls : impl list =
       ~create:(fun ~capacity () -> D.make ~length:capacity ())
       ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
       ~pop_left:D.pop_left);
+    (let module D = Baselines.St_deque in
+    make_impl "st-deque"
+      ~create:(fun ~capacity:_ () -> D.make ())
+      ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
+      ~pop_left:D.pop_left);
   ]
 
 (* Crash-instrumented variants of the lock-free implementations: same

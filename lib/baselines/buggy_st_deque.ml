@@ -1,0 +1,10 @@
+(* The deliberately broken Sundell–Tsigas deque: help_delete's
+   physical-unlink phase is removed (the mark still lands), so marked
+   nodes stay chained and later pops on that side spin forever.  The
+   fuzzer must catch this as a step-limit violation — the planted-bug
+   discipline that keeps the verification stack honest (see
+   Buggy_deque and Buggy_spin_deque for the earlier plants). *)
+
+module Make = St_deque.Make_buggy
+
+include Make (St_deque.Atomic_cas)

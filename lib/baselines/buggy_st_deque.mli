@@ -1,0 +1,12 @@
+(** The Sundell–Tsigas deque with a planted liveness bug: the
+    physical-unlink phase of [help_delete] is removed.  A pop's marking
+    CAS still lands (values are not lost or duplicated), but the marked
+    node is never spliced out, so the next pop on that side spins on
+    the marked link forever.  The fuzzer must report this as a
+    step-limit violation within its budget; the correct {!St_deque}
+    must survive the same budget.  Never use outside tests. *)
+
+module Make (C : St_deque.CAS) : St_deque.S
+
+include St_deque.S
+(** [Make (St_deque.Atomic_cas)]. *)

@@ -46,6 +46,17 @@ module Buggy_model = Buggy_deque.Make (Mem_model)
 module Chaos_model = Dcas.Mem_chaos.Make (Mem_model)
 module List_chaos_model = Deque.List_deque.Make (Chaos_model)
 
+(* The Sundell–Tsigas single-word-CAS deque over the model memory: the
+   algorithm is a functor over St_deque.CAS, so the one-entry-casn shim
+   puts a yield point at every shared read and CAS — the explorer and
+   fuzzer drive the identical algorithm text that production runs on
+   plain Atomic. *)
+module St_model = Baselines.St_deque.Make (Baselines.St_deque.Of_casn (Mem_model))
+module St_chaos_model =
+  Baselines.St_deque.Make (Baselines.St_deque.Of_casn (Chaos_model))
+module St_buggy_model =
+  Baselines.St_deque.Make_buggy (Baselines.St_deque.Of_casn (Mem_model))
+
 let apply_via push_right push_left pop_right pop_left d (op : int Spec.Op.op) :
     int Spec.Op.res =
   match op with
@@ -181,6 +192,33 @@ let list_deque_chaos ?(fail_prob = 0.1) ?(freeze_prob = 0.) ?(freeze_spins = 8)
           List_chaos_model.pop_right List_chaos_model.pop_left d,
         Some (fun () -> List_chaos_model.check_invariant d),
         Some (dump_ints List_chaos_model.unsafe_to_list d) ))
+
+let st_deque ?(setup = []) ~name ~prefill threads =
+  build ~name ~capacity:None ~prefill ~setup ~threads ~make_instance:(fun () ->
+      let d = St_model.make () in
+      ( apply_via St_model.push_right St_model.push_left St_model.pop_right
+          St_model.pop_left d,
+        Some (fun () -> St_model.check_invariant d),
+        Some (dump_ints St_model.unsafe_to_list d) ))
+
+let st_deque_chaos ?(fail_prob = 0.1) ?(freeze_prob = 0.) ?(freeze_spins = 8)
+    ?(chaos_seed = 0xC0FFEE) ?(setup = []) ~name ~prefill threads =
+  build ~name ~capacity:None ~prefill ~setup ~threads ~make_instance:(fun () ->
+      Chaos_model.configure ~fail_prob ~freeze_prob ~freeze_spins
+        ~seed:chaos_seed ();
+      let d = St_chaos_model.make () in
+      ( apply_via St_chaos_model.push_right St_chaos_model.push_left
+          St_chaos_model.pop_right St_chaos_model.pop_left d,
+        Some (fun () -> St_chaos_model.check_invariant d),
+        Some (dump_ints St_chaos_model.unsafe_to_list d) ))
+
+let st_deque_buggy ?(setup = []) ~name ~prefill threads =
+  build ~name ~capacity:None ~prefill ~setup ~threads ~make_instance:(fun () ->
+      let d = St_buggy_model.make () in
+      ( apply_via St_buggy_model.push_right St_buggy_model.push_left
+          St_buggy_model.pop_right St_buggy_model.pop_left d,
+        Some (fun () -> St_buggy_model.check_invariant d),
+        Some (dump_ints St_buggy_model.unsafe_to_list d) ))
 
 let greenwald_v2 ?(setup = []) ~name ~length ~prefill threads =
   build ~name ~capacity:(Some length) ~prefill ~setup ~threads

@@ -107,6 +107,44 @@ val list_deque_chaos :
     points (default 0 / 8).  Fault streams restart from [chaos_seed] at
     every instantiation, keeping exploration sound. *)
 
+val st_deque :
+  ?setup:int Spec.Op.op list ->
+  name:string ->
+  prefill:int list ->
+  int Spec.Op.op list list ->
+  t
+(** The Sundell–Tsigas single-word-CAS deque ({!Baselines.St_deque})
+    over the model memory via its one-entry-casn shim: every shared
+    read and CAS of the production algorithm text is a scheduling
+    point, and its weak per-step representation invariant (next chain
+    reaches tail, head unmarked, chained nodes valued) is checked
+    after every step. *)
+
+val st_deque_chaos :
+  ?fail_prob:float ->
+  ?freeze_prob:float ->
+  ?freeze_spins:int ->
+  ?chaos_seed:int ->
+  ?setup:int Spec.Op.op list ->
+  name:string ->
+  prefill:int list ->
+  int Spec.Op.op list list ->
+  t
+(** {!st_deque} over the chaos-wrapped model memory: spurious CAS
+    failures (and optional bounded freezes) woven into every explored
+    schedule, exercising the helping paths harder.  Fault streams
+    restart from [chaos_seed] at every instantiation. *)
+
+val st_deque_buggy :
+  ?setup:int Spec.Op.op list ->
+  name:string ->
+  prefill:int list ->
+  int Spec.Op.op list list ->
+  t
+(** The planted-bug variant {!Baselines.Buggy_st_deque}: helping never
+    physically unlinks, so a schedule with two pops on one side spins
+    forever — the fuzzer must catch it as a step-limit violation. *)
+
 val chaos_stats : unit -> Dcas.Memory_intf.stats
 (** Cumulative counters of the chaos substrate behind
     {!list_deque_chaos} ([chaos_spurious], [chaos_freezes], ...). *)

@@ -523,6 +523,17 @@ module Lock_deque_adapter = Restrict (struct
   let name = Baselines.Lock_deque.name
 end)
 
+(* The Sundell–Tsigas single-word-CAS deque restricts like any general
+   deque; steal_batch is the generic one-at-a-time fallback (each steal
+   its own marking CAS — there is no multi-word primitive to batch
+   under). *)
+module St_deque_adapter = Restrict (struct
+  include Baselines.St_deque
+
+  let name = Baselines.St_deque.name
+end)
+
 module Array_scheduler = Make (Array_deque_adapter)
 module List_scheduler = Make (List_deque_adapter)
 module Lock_scheduler = Make (Lock_deque_adapter)
+module St_scheduler = Make (St_deque_adapter)

@@ -30,7 +30,15 @@ module Array_deque_adapter : Worksteal_intf.WORKSTEAL_DEQUE
     batch at one linearization point (one CASN) instead of one CAS per
     stolen task. *)
 
+module St_deque_adapter : Worksteal_intf.WORKSTEAL_DEQUE
+(** The Sundell–Tsigas single-word-CAS deque ({!Baselines.St_deque}),
+    restricted via {!Restrict}; [steal_batch] is the generic
+    one-steal-at-a-time fallback. *)
+
 module Abp_scheduler : Worksteal_intf.SCHEDULER
 module Array_scheduler : Worksteal_intf.SCHEDULER
 module List_scheduler : Worksteal_intf.SCHEDULER
 module Lock_scheduler : Worksteal_intf.SCHEDULER
+
+module St_scheduler : Worksteal_intf.SCHEDULER
+(** The scheduler over {!St_deque_adapter}. *)

@@ -59,6 +59,17 @@ let test_dummy_nonblocking () =
   assert_nonblocking "dummy, victim 0" scenario ~victim:0;
   assert_nonblocking "dummy, victim 1" scenario ~victim:1
 
+let test_st_nonblocking () =
+  (* the single-word-CAS competitor: a thread frozen between the mark
+     and the physical unlink of a pop leaves a marked link that the
+     others must help past *)
+  let scenario =
+    Modelcheck.Scenario.st_deque ~name:"nb-st" ~prefill:[ 1; 2 ]
+      [ [ Pop_right; Push_right 3 ]; [ Pop_left ]; [ Push_left 4 ] ]
+  in
+  assert_nonblocking "st, victim 0" scenario ~victim:0;
+  assert_nonblocking "st, victim 1" scenario ~victim:1
+
 (* --- E22 model-checker leg: fail-stop instead of freeze ---
 
    The victim is killed for good at every reachable crash point —
@@ -109,6 +120,14 @@ let test_casn_crash_recovery () =
   in
   assert_crash_recovers "casn, victim 0" scenario ~victim:0;
   assert_crash_recovers "casn, victim 1" scenario ~victim:1
+
+let test_st_crash_recovery () =
+  let scenario =
+    Modelcheck.Scenario.st_deque ~name:"cr-st" ~prefill:[ 1; 2 ]
+      [ [ Pop_right; Push_right 3 ]; [ Pop_left ] ]
+  in
+  assert_crash_recovers "st, victim 0" scenario ~victim:0;
+  assert_crash_recovers "st, victim 1" scenario ~victim:1
 
 (* --- Real domains: stall injection --- *)
 
@@ -199,6 +218,9 @@ module F_list = Deque.List_deque.Make (Freeze_mem)
 module F_dummy = Deque.List_deque_dummy.Make (Freeze_mem)
 module F_casn = Deque.List_deque_casn.Make (Freeze_mem)
 module F_buggy = Baselines.Buggy_spin_deque.Make (Freeze_mem)
+
+module F_st =
+  Baselines.St_deque.Make (Baselines.St_deque.Of_casn (Freeze_mem))
 
 let survivor_ops = 1_000
 
@@ -350,6 +372,25 @@ let test_empirical_casn () =
             ~pop_left:(fun () -> F_casn.pop_left d))
       |> assert_survives "3cas" ~threads)
 
+(* The single-word-CAS competitor under the same adversary: a peer
+   frozen between the mark and the unlink of a pop leaves a marked
+   link the survivor must help past, with spurious CAS failures on
+   top. *)
+let test_empirical_st () =
+  with_chaos (fun () ->
+      let d = F_st.make () in
+      for i = 1 to 16 do
+        ignore (F_st.push_right d i)
+      done;
+      let threads = 3 in
+      run_frozen ~threads ~time_budget:30. (fun ~tid ~rng ->
+          mixed_op ~tid ~rng
+            ~push_right:(fun v -> F_st.push_right d v)
+            ~push_left:(fun v -> F_st.push_left d v)
+            ~pop_right:(fun () -> F_st.pop_right d)
+            ~pop_left:(fun () -> F_st.pop_left d))
+      |> assert_survives "st" ~threads)
+
 (* The planted livelock: freezing any participant of the turn-passing
    deque blocks the survivor, the validator flags it, and the watchdog
    fires a diagnostic snapshot (captured, not printed) instead of the
@@ -397,6 +438,7 @@ let () =
           Alcotest.test_case "list deque deletions" `Slow
             test_list_nonblocking_deletion_phase;
           Alcotest.test_case "dummy variant" `Slow test_dummy_nonblocking;
+          Alcotest.test_case "st deque" `Slow test_st_nonblocking;
         ] );
       ( "model-checked crash recovery",
         [
@@ -404,6 +446,7 @@ let () =
           Alcotest.test_case "list deque" `Slow test_list_crash_recovery;
           Alcotest.test_case "dummy variant" `Slow test_dummy_crash_recovery;
           Alcotest.test_case "casn variant" `Slow test_casn_crash_recovery;
+          Alcotest.test_case "st deque" `Slow test_st_crash_recovery;
         ] );
       ( "real-domain stalls (E9/E14)",
         [
@@ -419,6 +462,7 @@ let () =
           Alcotest.test_case "dummy variant survives" `Slow
             test_empirical_dummy;
           Alcotest.test_case "casn variant survives" `Slow test_empirical_casn;
+          Alcotest.test_case "st deque survives" `Slow test_empirical_st;
           Alcotest.test_case "turn-passing deque fails, watchdog fires" `Slow
             test_empirical_buggy_spin;
         ] );

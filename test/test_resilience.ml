@@ -55,6 +55,20 @@ let dummy_impl =
         ~to_list:(Some (fun () -> R_dummy.unsafe_to_list d))
         ~invariant:(Some (fun () -> R_dummy.check_invariant d)))
 
+module R_st = Baselines.St_deque.Make (Baselines.St_deque.Of_casn (Mem))
+
+let st_impl =
+  impl_of ~name:"st under chaos+stall" ~bounded:false
+    ~fresh:(fun ~capacity:_ ->
+      let d = R_st.make () in
+      Test_support.handle_of_ops
+        ~push_right:(fun v -> R_st.push_right d v)
+        ~push_left:(fun v -> R_st.push_left d v)
+        ~pop_right:(fun () -> R_st.pop_right d)
+        ~pop_left:(fun () -> R_st.pop_left d)
+        ~to_list:(Some (fun () -> R_st.unsafe_to_list d))
+        ~invariant:(Some (fun () -> R_st.check_invariant d)))
+
 let casn_impl =
   impl_of ~name:"3cas under chaos+stall" ~bounded:false
     ~fresh:(fun ~capacity:_ ->
@@ -253,6 +267,7 @@ let () =
           conservation_case list_impl;
           conservation_case dummy_impl;
           conservation_case casn_impl;
+          conservation_case st_impl;
         ] );
       ( "degradation policies (E20)",
         [
