@@ -1999,6 +1999,205 @@ let e23 ~quick =
      parked mid-operation at a shared-memory access point"
 
 (* ------------------------------------------------------------------ *)
+(* E24: sharded service soak — SLO-gated latency under live fault      *)
+(* storms                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The full fault-storm substrate under the sharded service: seeded
+   chaos (spurious DCAS failures) at the bottom, fail-stop crash
+   injection above it, adversarial freezes on top — the layers E9 and
+   E22 exercise separately, composed.  Crash's mid-CASN detection keys
+   off Mem_lockfree's global publish hook, so it keeps working through
+   the chaos wrapper. *)
+module Soak_chaos = Dcas.Mem_chaos.Make (Dcas.Mem_lockfree)
+
+module Soak_mem =
+  Harness.Stall.Mem_stalling_casn (Harness.Crash.Mem_crashing_casn (Soak_chaos))
+
+module Soak_service =
+  Worksteal.Shard_service.Make (Deque.Array_deque.Make (Soak_mem))
+
+let e24 ~quick =
+  header "E24 sharded service soak: SLO-gated latency under live fault storms";
+  let duration = dur ~quick 2.0 in
+  let finite f = if Float.is_finite f then f else 0. in
+  let cfg =
+    {
+      Worksteal.Shard_service.default with
+      shards = 4;
+      producers = 2;
+      consumers = 2;
+      capacity = 256;
+      rate = 4_000.;
+      (* per-producer open-loop arrivals/s; bursty token bucket *)
+      burst = 16;
+      urgent_share = 0.15;
+      seed = 0xE24;
+      (* silence detection off: on an oversubscribed box a busy-but-
+         alive worker can easily go quiet past any threshold, and a
+         false presumed-dead would make the kill count nondeterministic;
+         deaths certified by Died still trigger adoption + replacement *)
+      sup = { Worksteal.Supervisor.default with silence_after = 0. };
+    }
+  in
+  let slots = cfg.Worksteal.Shard_service.producers + cfg.Worksteal.Shard_service.consumers in
+  let cell ~label ~storm =
+    Harness.Crash.reset ();
+    Harness.Stall.Freezer.reset ();
+    Soak_chaos.disarm ();
+    (* Phase-tagged service-time histograms: per-slot (the observers
+       run on the worker domains), split calm/fault by a flag the storm
+       driver flips, successful operations only — the SLO is on served
+       requests, not on consumers' empty scans. *)
+    let fault_phase = Atomic.make false in
+    let mk () =
+      Array.init slots (fun _ ->
+          Fixed_histogram.create ~width_ns:500. ~buckets:65536 ())
+    in
+    let calm_h = mk () and fault_h = mk () in
+    let record ~tid ~ns =
+      let h = if Atomic.get fault_phase then fault_h else calm_h in
+      if tid >= 0 && tid < slots then Fixed_histogram.add h.(tid) ~ns
+    in
+    let on_push ~tid ~ns = function
+      | `Okay -> record ~tid ~ns
+      | `Full | `Timeout -> ()
+    in
+    let on_pop ~tid ~ns = function
+      | `Value _ -> record ~tid ~ns
+      | `Empty | `Timeout -> ()
+    in
+    (* The storm driver runs on the calling domain while traffic flows:
+       a calm lead-in, then — inside the fault window — seeded chaos, a
+       freeze/thaw episode on producer 0 and a targeted mid-CASN kill
+       of consumer slot [producers], then a calm recovery tail. *)
+    let third = duration /. 3. in
+    let driver () =
+      if storm then begin
+        Unix.sleepf third;
+        Atomic.set fault_phase true;
+        Soak_chaos.configure ~fail_prob:0.002 ~seed:0xC4A05 ();
+        Harness.Stall.Freezer.freeze ~tid:0;
+        Unix.sleepf (Float.min 0.05 (third /. 4.));
+        Harness.Stall.Freezer.thaw ~tid:0;
+        Harness.Crash.kill ~mode:`Mid_casn
+          ~tid:cfg.Worksteal.Shard_service.producers ();
+        Unix.sleepf third;
+        Soak_chaos.disarm ();
+        Atomic.set fault_phase false;
+        Unix.sleepf third
+      end
+      else Unix.sleepf duration
+    in
+    let spurious0 = (Soak_mem.stats ()).Dcas.Memory_intf.chaos_spurious in
+    let r = Soak_service.run ~config:cfg ~on_push ~on_pop ~driver ~duration () in
+    let freezes = Harness.Stall.Freezer.freeze_hits () in
+    let spurious =
+      (Soak_mem.stats ()).Dcas.Memory_intf.chaos_spurious - spurious0
+    in
+    Harness.Crash.reset ();
+    Harness.Stall.Freezer.reset ();
+    let open Worksteal.Shard_service in
+    let merge hs =
+      Array.fold_left Fixed_histogram.merge hs.(0)
+        (Array.sub hs 1 (slots - 1))
+    in
+    let q h p =
+      if Fixed_histogram.count h = 0 then 0.
+      else finite (Fixed_histogram.quantile_ns h p)
+    in
+    let ch = merge calm_h and fh = merge fault_h in
+    let conserved = if conserved r then 1 else 0 in
+    let tp =
+      if r.elapsed > 0. then
+        float_of_int (r.pushed_ok + r.executed) /. r.elapsed
+      else 0.
+    in
+    let imbalance =
+      finite (Harness.Metrics.Starvation.of_counts r.per_shard_popped).imbalance
+    in
+    let recovery_max = List.fold_left Float.max 0. r.recoveries in
+    emit_json
+      (Harness.Json.Obj
+         [
+           ("experiment", Harness.Json.String "e24");
+           ("section", Harness.Json.String "soak");
+           ("cell", Harness.Json.String label);
+           ("shards", Harness.Json.Int cfg.shards);
+           ("producers", Harness.Json.Int cfg.producers);
+           ("consumers", Harness.Json.Int cfg.consumers);
+           ("rate", Harness.Json.Float cfg.rate);
+           ("elapsed_s", Harness.Json.Float r.elapsed);
+           ("ops_per_sec", Harness.Json.Float tp);
+           ("spawned", Harness.Json.Int r.spawned);
+           ("executed", Harness.Json.Int r.executed);
+           ("reconciled", Harness.Json.Int r.reconciled);
+           ("leftover", Harness.Json.Int r.leftover);
+           ("conserved", Harness.Json.Int conserved);
+           ("pushed_ok", Harness.Json.Int r.pushed_ok);
+           ("push_full", Harness.Json.Int r.push_full);
+           ("timeouts", Harness.Json.Int r.timeouts);
+           ("killed", Harness.Json.Int r.killed);
+           ("replacements", Harness.Json.Int r.replacements);
+           ("adoptions", Harness.Json.Int r.adoptions);
+           ("adopted_items", Harness.Json.Int r.adopted_items);
+           ("orphans_helped", Harness.Json.Int r.orphans_helped);
+           ("freezes", Harness.Json.Int freezes);
+           ("chaos_spurious", Harness.Json.Int spurious);
+           ("recoveries", Harness.Json.Int (List.length r.recoveries));
+           ("recovery_max_s", Harness.Json.Float recovery_max);
+           ("calm_p50_ns", Harness.Json.Float (q ch 0.5));
+           ("calm_p99_ns", Harness.Json.Float (q ch 0.99));
+           ("calm_p999_ns", Harness.Json.Float (q ch 0.999));
+           ("fault_p50_ns", Harness.Json.Float (q fh 0.5));
+           ("fault_p99_ns", Harness.Json.Float (q fh 0.99));
+           ("fault_p999_ns", Harness.Json.Float (q fh 0.999));
+           ("imbalance", Harness.Json.Float imbalance);
+         ]);
+    [
+      label;
+      fmt_tp tp;
+      fmt_ns (q ch 0.5);
+      fmt_ns (q ch 0.99);
+      fmt_ns (q ch 0.999);
+      (if Fixed_histogram.count fh = 0 then "-" else fmt_ns (q fh 0.99));
+      string_of_int r.killed;
+      string_of_int r.replacements;
+      string_of_int r.adoptions;
+      (if recovery_max = 0. then "-" else Printf.sprintf "%.3fs" recovery_max);
+      Printf.sprintf "%.2f" imbalance;
+      (if conserved = 1 then "ok"
+       else
+         Printf.sprintf "VIOLATED %d<>%d+%d (+%d left)" r.spawned r.executed
+           r.reconciled r.leftover);
+    ]
+  in
+  (* bind in sequence: list literals evaluate right-to-left, and the
+     calm cell must run first (its row is the storm's baseline) *)
+  let calm_row = cell ~label:"calm" ~storm:false in
+  let storm_row = cell ~label:"storm" ~storm:true in
+  let rows = [ calm_row; storm_row ] in
+  Harness.Table.print
+    ~headers:
+      [
+        "cell"; "ops/s"; "calm p50"; "calm p99"; "calm p999"; "fault p99";
+        "killed"; "repl"; "adopt"; "recovery"; "imbal"; "conserved";
+      ]
+    rows;
+  note
+    "%d shards (%d producers + %d consumers + monitor) over the chaos+\n\
+     crash+freeze substrate, %.0f arrivals/s per producer in bursts of\n\
+     %d, %.1fs per cell; the storm cell freezes producer 0 mid-soak,\n\
+     kills one consumer mid-CASN (its shard is quarantined, drained\n\
+     into survivors and revived for the replacement) and runs seeded\n\
+     spurious-DCAS chaos for the middle third; latencies are successful\n\
+     operations only, split calm/fault by storm phase; conserved means\n\
+     spawned = executed + reconciled and a zero leftover drain"
+    cfg.Worksteal.Shard_service.shards cfg.Worksteal.Shard_service.producers
+    cfg.Worksteal.Shard_service.consumers cfg.Worksteal.Shard_service.rate
+    cfg.Worksteal.Shard_service.burst duration
+
+(* ------------------------------------------------------------------ *)
 
 type experiment = { id : string; title : string; run : quick:bool -> unit }
 
@@ -2036,5 +2235,10 @@ let all : experiment list =
       id = "e23";
       title = "cross-algorithm shootout: DCAS vs single-word-CAS";
       run = e23;
+    };
+    {
+      id = "e24";
+      title = "sharded service soak: SLO under live fault storms";
+      run = e24;
     };
   ]

@@ -70,6 +70,39 @@ let make_impl (type t) ?(enroll = false) name
                  mix rng tid)));
   }
 
+(* Sharded service front ends (Core.Sharded): --shards K deques behind
+   affinity routing, Spill shards so a full home overflows rather than
+   rejects.  Pushes route by value (spread), pops by a shared rotating
+   key (each pop homes somewhere and steal-rebalances from the rest);
+   the left-end ops map to the urgent priority lane. *)
+let shards_n = ref 4
+
+let sharded_impl ?(enroll = false) name (module D : Deque.Deque_intf.S) =
+  let module Sh = Deque.Sharded.Make (D) in
+  let rr = ref 0 in
+  let key () =
+    (* racy shared counter: only a routing key, any value is valid *)
+    incr rr;
+    !rr
+  in
+  let push urgent d v : Deque.Deque_intf.push_result =
+    match Sh.push ~urgent d ~key:v v with
+    | `Okay -> `Okay
+    | `Full -> `Full
+    | `Timeout -> `Full (* no deadline configured: unreachable *)
+  in
+  let pop urgent d : int Deque.Deque_intf.pop_result =
+    match Sh.pop ~urgent d ~key:(key ()) with
+    | `Value v -> `Value v
+    | `Empty -> `Empty
+    | `Timeout -> `Empty
+  in
+  make_impl ~enroll name
+    ~create:(fun ~capacity () ->
+      Sh.create ~full:Deque.Policy.Spill ~shards:!shards_n ~capacity ())
+    ~push_right:(push false) ~push_left:(push true) ~pop_right:(pop false)
+    ~pop_left:(pop true)
+
 let impls : impl list =
   [
     (let module D = Deque.Array_deque.Lockfree in
@@ -129,6 +162,8 @@ let impls : impl list =
       ~create:(fun ~capacity:_ () -> D.make ())
       ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
       ~pop_left:D.pop_left);
+    sharded_impl "sharded-array" (module Deque.Array_deque.Lockfree);
+    sharded_impl "sharded-list" (module Deque.List_deque.Lockfree);
   ]
 
 (* Crash-instrumented variants of the lock-free implementations: same
@@ -169,6 +204,8 @@ let crash_impls : impl list =
       ~create:(fun ~capacity:_ () -> D.make ~recycle:true ())
       ~push_right:D.push_right ~push_left:D.push_left ~pop_right:D.pop_right
       ~pop_left:D.pop_left);
+    sharded_impl ~enroll:true "sharded-array" (module Crash_array);
+    sharded_impl ~enroll:true "sharded-list" (module Crash_list);
   ]
 
 let mix_of = function
@@ -180,7 +217,12 @@ let mix_of = function
   | m -> Error ("unknown mix: " ^ m)
 
 let run impl_name threads duration mix_name capacity prefill watchdog_s
-    crash_prob crash_workers crash_seed =
+    crash_prob crash_workers crash_seed shards =
+  if shards < 1 then begin
+    prerr_endline "--shards must be >= 1";
+    exit 2
+  end;
+  shards_n := shards;
   let crashing = crash_prob > 0. in
   let table = if crashing then crash_impls else impls in
   match
@@ -315,12 +357,22 @@ let crash_seed =
     & info [ "crash-seed" ] ~docv:"SEED"
         ~doc:"Seed for the replayable per-domain death draws.")
 
+let shards =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Shard count for the sharded-* implementations (K policy-\
+           wrapped deques behind affinity routing; --capacity is \
+           per-shard).  Ignored by the single-structure \
+           implementations.")
+
 let cmd =
   let doc = "multi-domain deque throughput" in
   Cmd.v
     (Cmd.info "stress" ~doc)
     Term.(
       const run $ impl_arg $ threads $ duration $ mix $ capacity $ prefill
-      $ watchdog_s $ crash_prob $ crash_workers $ crash_seed)
+      $ watchdog_s $ crash_prob $ crash_workers $ crash_seed $ shards)
 
 let () = exit (Cmd.eval' cmd)

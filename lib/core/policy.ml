@@ -25,6 +25,11 @@
      availability — pops drain the primary first and fall back to the
      overflow, so no value is ever lost or duplicated, but an element
      that overflowed can be overtaken by later primary-deque traffic.
+     Parked values also drain {e back} opportunistically: any call that
+     proves the primary has room (a push that landed, a pop that just
+     freed a slot) moves one overflowed value back into the primary and
+     counts it as a refill, so a burst's backlog melts away under
+     ordinary traffic instead of waiting for the primary to empty.
 
    - {e backpressure / starvation accounting}: per-wrapper counters
      (successes, rejections, retries, spills, timeouts) and the maximum
@@ -56,16 +61,17 @@ type stats = {
   retries : int;  (* extra attempts beyond each operation's first *)
   spilled : int;  (* pushes diverted to the overflow deque *)
   spill_drained : int;  (* pops served from the overflow deque *)
+  refilled : int;  (* parked values moved back into the primary *)
   overflow_size : int;  (* values currently parked in the overflow *)
   max_latency_ns : int;  (* worst single completed call *)
 }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "ok=%d full=%d empty=%d timeout=%d retries=%d spill=%d/%d pending=%d \
-     max_latency=%dns"
+    "ok=%d full=%d empty=%d timeout=%d retries=%d spill=%d/%d refill=%d \
+     pending=%d max_latency=%dns"
     s.ok s.full_rejections s.empty_misses s.timeouts s.retries s.spilled
-    s.spill_drained s.overflow_size s.max_latency_ns
+    s.spill_drained s.refilled s.overflow_size s.max_latency_ns
 
 module Make (D : Deque_intf.S) = struct
   module Overflow = List_deque.Lockfree
@@ -85,6 +91,7 @@ module Make (D : Deque_intf.S) = struct
     c_retries : int Atomic.t;
     c_spilled : int Atomic.t;
     c_drained : int Atomic.t;
+    c_refilled : int Atomic.t;
     c_max_ns : int Atomic.t;
   }
 
@@ -106,6 +113,7 @@ module Make (D : Deque_intf.S) = struct
       c_retries = Dcas.Padding.make_atomic 0;
       c_spilled = Dcas.Padding.make_atomic 0;
       c_drained = Dcas.Padding.make_atomic 0;
+      c_refilled = Dcas.Padding.make_atomic 0;
       c_max_ns = Dcas.Padding.make_atomic 0;
     }
 
@@ -118,6 +126,7 @@ module Make (D : Deque_intf.S) = struct
       retries = Atomic.get t.c_retries;
       spilled = Atomic.get t.c_spilled;
       spill_drained = Atomic.get t.c_drained;
+      refilled = Atomic.get t.c_refilled;
       overflow_size =
         (match t.overflow with
         | None -> 0
@@ -159,6 +168,46 @@ module Make (D : Deque_intf.S) = struct
         | `Right -> Overflow.push_right o v
         | `Left -> Overflow.push_left o v)
 
+  (* Opportunistic drain-back for Spill: a call that just proved the
+     primary has room (a push that landed, a pop that freed a slot)
+     moves at most one parked value back in on the same side.  The
+     [c_spilled - c_drained - c_refilled] hint keeps the common case
+     (nothing parked) to three counter reads — no shared-structure
+     traffic.  The move is two linearizable steps, not one: a
+     concurrent observer can catch the value in hand, so quiescent
+     conservation views must run with no call in flight (unchanged). *)
+  let overflow_hint t =
+    Atomic.get t.c_spilled - Atomic.get t.c_drained - Atomic.get t.c_refilled
+
+  let try_refill t ~side =
+    match t.overflow with
+    | None -> ()
+    | Some _ when overflow_hint t <= 0 -> ()
+    | Some o -> (
+        match
+          match side with
+          | `Right -> Overflow.pop_right o
+          | `Left -> Overflow.pop_left o
+        with
+        | `Empty -> ()
+        | `Value v -> (
+            match push_primary t ~side v with
+            | `Okay -> Atomic.incr t.c_refilled
+            | `Full ->
+                (* the slot was taken concurrently: re-park the value on
+                   the side it came from (the list overflow is unbounded,
+                   so this cannot refuse — loop for the type system) *)
+                let rec park () =
+                  match
+                    match side with
+                    | `Right -> Overflow.push_right o v
+                    | `Left -> Overflow.push_left o v
+                  with
+                  | `Okay -> ()
+                  | `Full -> park ()
+                in
+                park ()))
+
   (* Retrying is bounded two ways: the Retry policy caps the attempt
      COUNT (exhaustion surfaces as `Full — honest backpressure), while
      a [?deadline] bounds the attempt WINDOW in wall-clock time
@@ -175,7 +224,9 @@ module Make (D : Deque_intf.S) = struct
       in
       let rec go attempt =
         match push_primary t ~side v with
-        | `Okay -> finish t ~t0 t.c_ok `Okay
+        | `Okay ->
+            try_refill t ~side;
+            finish t ~t0 t.c_ok `Okay
         | `Full -> (
             match t.full with
             | Spill -> (
@@ -228,7 +279,10 @@ module Make (D : Deque_intf.S) = struct
       let backoff = Dcas.Backoff.create () in
       let rec go () =
         match pop_primary t ~side with
-        | `Value v -> finish t ~t0 t.c_ok (`Value v)
+        | `Value v ->
+            (* the pop freed one slot: prime it with a parked value *)
+            try_refill t ~side;
+            finish t ~t0 t.c_ok (`Value v)
         | `Empty -> (
             match pop_overflow t ~side with
             | `Value v ->

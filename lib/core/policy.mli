@@ -20,7 +20,11 @@ type full_policy =
   | Spill
       (** Divert the value into an unbounded overflow {!List_deque} on
           the same side.  Pops drain the primary first and fall back to
-          the overflow: availability is preserved, strict deque
+          the overflow; in addition, any call that proves the primary
+          has room (a push that landed, a pop that just freed a slot)
+          opportunistically moves one parked value back into the
+          primary (counted as [refilled]), so the backlog drains under
+          ordinary traffic.  Availability is preserved, strict deque
           ordering across the two structures is not (an overflowed
           element can be overtaken by later primary traffic). *)
 
@@ -35,6 +39,7 @@ type stats = {
   retries : int;  (** attempts beyond each operation's first *)
   spilled : int;  (** pushes diverted to the overflow *)
   spill_drained : int;  (** pops served from the overflow *)
+  refilled : int;  (** parked values moved back into the primary *)
   overflow_size : int;  (** values currently parked in the overflow *)
   max_latency_ns : int;  (** worst single completed call *)
 }

@@ -1,0 +1,123 @@
+(** A sharded deque service front end (ROADMAP item 3): K per-core
+    deques behind one routing surface, judged by requests-under-SLO
+    rather than single-structure ops/s (experiment E24).
+
+    Each shard is a {!Policy.Make} wrapper, so deadlines surface as
+    [`Timeout] and full shards degrade per the configured
+    {!Policy.full_policy} before the router adds cross-shard overflow
+    (pushes) and steal-based rebalancing (pops) on top.  Urgent
+    operations use the left end, bulk ones the right — the
+    double-ended priority usage of Fatourou et al. (PAPERS.md).
+
+    The composite is {e not} linearizable to a single deque: routing
+    and stealing reorder across shards by design.  Its correctness
+    story is conservation — no value lost, none duplicated — plus each
+    shard's own linearizability, model-checked by the [sharded]
+    scenario and soak-tested under fault storms by E24. *)
+
+type stats = {
+  pushed : int;  (** external pushes that landed, across all shards *)
+  popped : int;  (** external pops served, across all shards *)
+  rerouted : int;  (** pushes placed cross-shard after a full home *)
+  stolen : int;  (** items moved between shards by rebalancing *)
+  adopted : int;  (** items drained out of quarantined shards *)
+  per_shard_pushed : int array;
+  per_shard_popped : int array;
+      (** per-shard landings/serves — feed
+          {!Harness.Metrics.Starvation} for imbalance *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val mix : int -> int
+(** The SplitMix-style affinity hash finalizer (pure; exposed for the
+    routing-determinism property test). *)
+
+module Make (D : Deque_intf.S) : sig
+  module P : module type of Policy.Make (D)
+  (** The per-shard wrapper, exposed so quiescent inspection can reach
+      each shard's primary deque and overflow list. *)
+
+  type 'a t
+
+  val name : string
+
+  val create :
+    ?full:Policy.full_policy ->
+    ?steal_batch:int ->
+    shards:int ->
+    capacity:int ->
+    unit ->
+    'a t
+  (** [full] (default {!Policy.Reject}) and [capacity] configure every
+      shard's policy wrapper; [steal_batch] (default 8) bounds how many
+      items one rebalancing pop may transfer.
+
+      @raise Invalid_argument if [shards < 1] or [steal_batch < 1]. *)
+
+  val shards : 'a t -> int
+
+  val shard_of : 'a t -> key:int -> int
+  (** Home shard for [key] — the pure affinity hash, ignoring
+      liveness. *)
+
+  val route : 'a t -> key:int -> int
+  (** Home shard, or the next live shard probing upward when the home
+      is quarantined (the home itself when every shard is down). *)
+
+  val push :
+    ?deadline:float -> ?urgent:bool -> 'a t -> key:int -> 'a ->
+    Policy.push_outcome
+  (** Push [v] for [key]: urgent entries use the left end, bulk
+      (default) the right.  The home shard's policy runs first
+      (deadline → [`Timeout], Retry/Spill at capacity); a surviving
+      [`Full] triggers one undeadlined attempt on each other live
+      shard before [`Full] is surfaced. *)
+
+  val pop :
+    ?deadline:float -> ?urgent:bool -> 'a t -> key:int ->
+    'a Policy.pop_outcome
+  (** Pop for [key]: urgent serves the left end (urgent entries first,
+      then the oldest bulk), bulk serves the right (newest bulk).  An
+      empty home shard triggers a steal scan that transfers up to
+      [steal_batch] items from the first non-empty peer — quarantined
+      shards included, which is how items stranded by a crash stay
+      reachable — serving one and parking the rest on the home shard.
+      With a [deadline], the whole routed operation (home + scan)
+      retries with backoff until the budget is spent. *)
+
+  val quarantine : 'a t -> shard:int -> unit
+  (** Take [shard] out of routing (its deque remains safe storage). *)
+
+  val revive : 'a t -> shard:int -> unit
+  (** Put [shard] back in rotation (a replacement owner exists). *)
+
+  val alive : 'a t -> shard:int -> bool
+
+  val adopt : 'a t -> shard:int -> int
+  (** Drain a quarantined shard into the survivors (round-robin from
+      its right neighbour); returns the number of items moved, [0]
+      when no live shard exists to receive them.  Never blocks: an
+      item that no live shard will take (all at capacity under
+      {!Policy.Reject}) is parked back on the source shard and ends
+      the adoption early.  Safe concurrently with traffic; a push
+      that raced the quarantine, or an early end, can leave items on
+      the quarantined shard — they stay reachable via the steal
+      scan. *)
+
+  val stats : 'a t -> stats
+  (** Service-level counters.  Internal transfers (steals, adoption)
+      are counted separately from external landings/serves, so
+      [pushed - popped] is the number of items resident at
+      quiescence. *)
+
+  val shard : 'a t -> int -> 'a P.t
+  (** Quiescent-only inspection hook: the [i]th shard's policy
+      wrapper. *)
+
+  val drain : 'a t -> 'a list
+  (** Quiescent-only: pop every shard dry (left end; primary then
+      overflow) and return the values.  Leaves service counters
+      untouched, so [stats.pushed - stats.popped = length (drain t)]
+      is the conservation check. *)
+end

@@ -26,7 +26,12 @@ let escape_string b s =
       | '\n' -> Buffer.add_string b "\\n"
       | '\r' -> Buffer.add_string b "\\r"
       | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      (* every remaining control character, DEL included, as \uXXXX —
+         a row built from a partially-failed soak cell (raw exception
+         text, truncated labels) must still parse downstream *)
+      | c when Char.code c < 0x20 || Char.code c = 0x7f ->
           Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char b c)
     s;

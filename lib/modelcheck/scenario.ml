@@ -229,6 +229,105 @@ let greenwald_v2 ?(setup = []) ~name ~length ~prefill threads =
         None,
         Some (dump_ints Greenwald_v2_model.unsafe_to_list d) ))
 
+(* The sharded service front end over model-memory array deques: K
+   policy-wrapped shards behind affinity routing, cross-shard overflow
+   and steal rebalancing (Core.Sharded, experiment E24).  The
+   composite is NOT linearizable to a single deque — explore it with
+   [check:`None] — so its obligations here are per-step:
+
+   - every shard's array-deque representation invariant (Figure 18);
+   - no value resident twice across the whole service (primaries and
+     overflows), which a racing steal or adoption would violate by
+     completing the push leg without the pop leg having committed;
+
+   and end-to-end: [Explorer.check_crash] drains through the sharded
+   pop (whose steal sweep reaches every shard, quarantined included)
+   and checks exact multiset conservation around the victim's single
+   in-flight operation.  [steal_batch] defaults to 1 so any operation
+   holds at most one item in hand — the same bound check_crash's
+   crash-commit uncertainty accounts for; raise it to explore batched
+   rebalancing races under [explore] (but not under [check_crash]).
+
+   Pushes route by their own value (distinct values spread over the
+   shards deterministically); pops route by key 0, so an empty home
+   exercises the steal scan.  Pushing [adopt_token] is not a push at
+   all: it quarantines the token's home shard, adopts (drains) it into
+   the survivors and revives it — the control-plane action whose races
+   against routing this scenario exists to explore.  It reports
+   [Full], which every checker ignores.  Scripts must use distinct
+   non-token values or the no-duplicate obligation misfires. *)
+module Sharded_model = Deque.Sharded.Make (Array_model)
+
+let sharded ?(shards = 2) ?(capacity = 2) ?(steal_batch = 1)
+    ?(adopt_token = min_int) ~name ~prefill threads =
+  build ~name ~capacity:None ~prefill ~setup:[] ~threads
+    ~make_instance:(fun () ->
+      let t =
+        Sharded_model.create ~full:Deque.Policy.Reject ~steal_batch ~shards
+          ~capacity ()
+      in
+      let res_of_push = function
+        | `Okay -> Spec.Op.Okay
+        | `Full | `Timeout -> Spec.Op.Full
+      in
+      let res_of_pop = function
+        | `Value v -> Spec.Op.Got v
+        | `Empty | `Timeout -> Spec.Op.Empty
+      in
+      let apply (op : int Spec.Op.op) : int Spec.Op.res =
+        match op with
+        | Spec.Op.(Push_right v | Push_left v) when v = adopt_token ->
+            let shard = Sharded_model.shard_of t ~key:v in
+            Sharded_model.quarantine t ~shard;
+            ignore (Sharded_model.adopt t ~shard);
+            Sharded_model.revive t ~shard;
+            Spec.Op.Full
+        | Spec.Op.Push_right v -> res_of_push (Sharded_model.push t ~key:v v)
+        | Spec.Op.Push_left v ->
+            res_of_push (Sharded_model.push ~urgent:true t ~key:v v)
+        | Spec.Op.Pop_right -> res_of_pop (Sharded_model.pop t ~key:0)
+        | Spec.Op.Pop_left ->
+            res_of_pop (Sharded_model.pop ~urgent:true t ~key:0)
+      in
+      let resident i =
+        Array_model.unsafe_to_list
+          (Sharded_model.P.primary (Sharded_model.shard t i))
+        @ Sharded_model.P.overflow_list (Sharded_model.shard t i)
+      in
+      let invariant () =
+        let rec shard_inv i =
+          if i >= shards then Ok ()
+          else
+            match
+              Array_model.check_invariant
+                (Sharded_model.P.primary (Sharded_model.shard t i))
+            with
+            | Ok () -> shard_inv (i + 1)
+            | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
+        in
+        match shard_inv 0 with
+        | Error _ as e -> e
+        | Ok () -> (
+            let all =
+              List.concat (List.init shards resident) |> List.sort compare
+            in
+            let rec dup = function
+              | a :: (b :: _ as rest) ->
+                  if a = b then Some a else dup rest
+              | _ -> None
+            in
+            match dup all with
+            | Some v ->
+                Error (Printf.sprintf "value %d resident in two places" v)
+            | None -> Ok ())
+      in
+      let dump () =
+        List.init shards (fun i ->
+            resident i |> List.map string_of_int |> String.concat ",")
+        |> String.concat " | "
+      in
+      (apply, Some invariant, Some dump))
+
 let greenwald_v1 ?(setup = []) ~name ~length ~prefill threads =
   build ~name ~capacity:(Some length) ~prefill ~setup ~threads
     ~make_instance:(fun () ->

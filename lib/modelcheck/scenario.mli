@@ -145,6 +145,32 @@ val st_deque_buggy :
     physically unlinks, so a schedule with two pops on one side spins
     forever — the fuzzer must catch it as a step-limit violation. *)
 
+val sharded :
+  ?shards:int ->
+  ?capacity:int ->
+  ?steal_batch:int ->
+  ?adopt_token:int ->
+  name:string ->
+  prefill:int list ->
+  int Spec.Op.op list list ->
+  t
+(** The sharded service front end ({!Deque.Sharded}, experiment E24)
+    over model-memory array deques: [shards] Reject-policy shards of
+    [capacity] each behind affinity routing, cross-shard push overflow
+    and steal-based pop rebalancing.  The composite is {e not}
+    linearizable to one deque — explore with [check:`None]; its
+    obligations are the per-step invariant (every shard's
+    representation invariant, and no value resident twice across the
+    service) plus {!Explorer.check_crash}'s drain-and-conserve check,
+    whose single-in-flight-item accounting the default
+    [steal_batch = 1] matches.  Pushes route by their own value, pops
+    by key 0 (so an empty home shard exercises the steal scan), and
+    pushing [adopt_token] (default: disabled) instead quarantines,
+    adopts and revives the token's home shard — the control-plane
+    action whose races against routing this scenario explores; it
+    reports [Full], which every checker ignores.  Scripts must use
+    distinct non-token values. *)
+
 val chaos_stats : unit -> Dcas.Memory_intf.stats
 (** Cumulative counters of the chaos substrate behind
     {!list_deque_chaos} ([chaos_spurious], [chaos_freezes], ...). *)

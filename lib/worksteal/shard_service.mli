@@ -1,0 +1,103 @@
+(** A supervised producer/consumer service over {!Deque.Sharded}
+    (ROADMAP item 3, experiment E24): M producer domains inject keyed
+    traffic over K policy-wrapped shards, N consumer domains drain
+    them, and an immortal monitor domain replaces dead or silent
+    workers, adopting a dead consumer's home shard (quarantine, drain
+    into survivors, revive for the replacement) and reconciling the
+    pending counter under the {!Supervisor} quiescence certificate.
+
+    The acceptance law, service-wide and fault-storm-proof:
+
+    [spawned = executed + reconciled] and [leftover = 0]
+
+    — a pending unit is granted before each push and returned on an
+    honest [`Full]/[`Timeout], so a death inside any operation strands
+    at most one unit, written off only once consumers' full no-find
+    scans (which walk every shard, quarantined included) certify that
+    nothing live remains. *)
+
+type config = {
+  shards : int;
+  producers : int;
+  consumers : int;
+  capacity : int;  (** per-shard primary capacity *)
+  full : Deque.Policy.full_policy;  (** per-shard full policy *)
+  steal_batch : int;  (** rebalancing transfer bound *)
+  rate : float;
+      (** per-producer open-loop arrivals per second; [<= 0.] = closed
+          loop (inject as fast as the service absorbs) *)
+  burst : int;  (** arrivals released per token-bucket refill *)
+  urgent_share : float;  (** fraction of pushes entering the left end *)
+  key_space : int;  (** routing keys drawn uniformly from [0,key_space) *)
+  deadline : float option;  (** per-operation budget, seconds *)
+  sup : Supervisor.config;
+  seed : int;
+}
+
+val default : config
+(** 4 shards, 2+2 workers, Spill shards, closed loop, 10% urgent. *)
+
+val validate : config -> unit
+(** @raise Invalid_argument on non-positive counts, [urgent_share]
+    outside [0,1], or an invalid supervisor config. *)
+
+type report = {
+  spawned : int;  (** pending units granted to pushes *)
+  executed : int;  (** pops served *)
+  reconciled : int;  (** phantom units written off at quiescence *)
+  leftover : int;  (** items found by the final quiescent drain *)
+  pushed_ok : int;
+  push_full : int;
+  timeouts : int;
+  empty_scans : int;  (** consumers' full no-find scans *)
+  killed : int;  (** workers lost to {!Harness.Crash.Died} *)
+  presumed_dead : int;  (** silent workers replaced without certificate *)
+  replacements : int;
+  adoptions : int;  (** shard quarantine+drain+revive cycles *)
+  adopted_items : int;
+  orphans_helped : int;
+  recoveries : float list;
+      (** seconds from detection to replacement running, per event *)
+  per_shard_pushed : int array;
+      (** external landings per shard — feed
+          {!Harness.Metrics.Starvation} *)
+  per_shard_popped : int array;
+  elapsed : float;
+}
+
+val conserved : report -> bool
+(** [spawned = executed + reconciled && leftover = 0] — the E24
+    acceptance predicate. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+module Make (D : Deque.Deque_intf.S) : sig
+  module S : module type of Deque.Sharded.Make (D)
+
+  val run :
+    ?config:config ->
+    ?watchdog:Harness.Watchdog.t ->
+    ?on_push:(tid:int -> ns:float -> Deque.Policy.push_outcome -> unit) ->
+    ?on_pop:(tid:int -> ns:float -> int Deque.Policy.pop_outcome -> unit) ->
+    ?driver:(unit -> unit) ->
+    duration:float ->
+    unit ->
+    report
+  (** Run the service for [duration] seconds of injection (values are
+      ints: each producer pushes its own send counter).  [on_push] /
+      [on_pop] observe every operation with its wall-clock latency in
+      nanoseconds — E24's histogram feed; they run on the worker
+      domains, so they must be thread-safe and cheap.  [driver], when
+      given, runs on the calling domain {e while traffic flows} and
+      replaces the default [sleepf duration] — E24 uses it to fire
+      crash, stall and chaos storms mid-soak; its return stops the
+      producers, after which the run drains, reconciles and joins.
+
+      Workers enroll with {!Harness.Crash} and
+      {!Harness.Stall.Freezer} under their slot id (producers first,
+      then consumers), so callers can target kills and freezes at
+      specific roles. *)
+end
+
+module Array_service : module type of Make (Deque.Array_deque.Lockfree)
+module List_service : module type of Make (Deque.List_deque.Lockfree)

@@ -265,6 +265,49 @@ let test_starvation () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* --- Json: rows from a partially-failed soak cell must always parse --- *)
+
+let test_json_control_chars () =
+  (* every control character, DEL included, must escape to something
+     the parser reads back byte-for-byte *)
+  let raw = Buffer.create 130 in
+  for code = 0 to 0x1f do
+    Buffer.add_char raw (Char.chr code)
+  done;
+  Buffer.add_string raw "plain \"quoted\" back\\slash";
+  Buffer.add_char raw '\x7f';
+  let s = Buffer.contents raw in
+  let doc = Harness.Json.Obj [ ("label", Harness.Json.String s) ] in
+  let text = Harness.Json.to_string doc in
+  String.iter
+    (fun c ->
+      if Char.code c < 0x20 || Char.code c = 0x7f then
+        Alcotest.failf "raw control byte 0x%02x leaked into output"
+          (Char.code c))
+    text;
+  match Harness.Json.(member "label" (of_string text)) with
+  | Harness.Json.String s' -> Alcotest.(check string) "round trip" s s'
+  | _ -> Alcotest.fail "label did not parse back as a string"
+
+let test_json_nonfinite_floats () =
+  let doc =
+    Harness.Json.List
+      [
+        Harness.Json.Float Float.nan;
+        Harness.Json.Float Float.infinity;
+        Harness.Json.Float Float.neg_infinity;
+        Harness.Json.Float 1.5;
+      ]
+  in
+  let text = Harness.Json.to_string doc in
+  Alcotest.(check string) "nan/inf emitted as null" "[null,null,null,1.5]"
+    text;
+  (* and the result still parses *)
+  match Harness.Json.of_string text with
+  | Harness.Json.List [ Null; Null; Null; Float f ] ->
+      Alcotest.(check (float 0.)) "finite float survives" 1.5 f
+  | _ -> Alcotest.fail "unexpected parse shape"
+
 let () =
   Alcotest.run "harness"
     [
@@ -317,4 +360,11 @@ let () =
         ] );
       ( "starvation",
         [ Alcotest.test_case "imbalance" `Quick test_starvation ] );
+      ( "json",
+        [
+          Alcotest.test_case "control characters escaped" `Quick
+            test_json_control_chars;
+          Alcotest.test_case "nan/inf encode as null" `Quick
+            test_json_nonfinite_floats;
+        ] );
     ]

@@ -390,6 +390,70 @@ let test_invariant_message () =
         "explore's reason carries the message"
         "invariant violated: custom-message-42" f.Modelcheck.Explorer.reason
 
+(* --- sharded service (E24) --- *)
+
+(* The sharded front end is NOT linearizable to a single deque (routing
+   and stealing reorder across shards by design), so these legs explore
+   with [check:`None]: the per-step obligation is the scenario's own
+   invariant (each shard's representation invariant plus no value
+   resident twice service-wide), and exact conservation is delegated to
+   check_crash's drain-and-balance accounting. *)
+
+let assert_clean name (outcome : Modelcheck.Explorer.outcome) =
+  match outcome.Modelcheck.Explorer.error with
+  | None -> ()
+  | Some f ->
+      Alcotest.failf "%s: %s@.schedule: %s@.%s" name
+        f.Modelcheck.Explorer.reason
+        (String.concat " " (List.map string_of_int f.Modelcheck.Explorer.schedule))
+        f.Modelcheck.Explorer.pretty_history
+
+(* Two threads over two shards: exhaustively enumerable (~500
+   schedules), every step invariant-checked. *)
+let test_sharded_exhaustive () =
+  assert_ok "sharded push vs urgent pop"
+    (Modelcheck.Explorer.explore ~check:`None
+       (Modelcheck.Scenario.sharded ~name:"sharded-2x2" ~prefill:[ 1 ]
+          [ [ Push_right 3 ]; [ Pop_left ] ]))
+
+(* Adoption racing traffic: thread 2's token push quarantines, adopts
+   and revives shard-of-9 while the others push and pop.  Three threads
+   blow past exhaustive enumeration, so this leg runs under a bounded
+   schedule budget (still tens of thousands of invariant-checked
+   interleavings). *)
+let sharded_adoption_scenario () =
+  Modelcheck.Scenario.sharded ~name:"sharded-adopt" ~adopt_token:9
+    ~prefill:[ 1; 2 ]
+    [ [ Push_right 3 ]; [ Pop_left ]; [ Push_right 9 ] ]
+
+let test_sharded_adoption_bounded () =
+  assert_clean "sharded adoption race"
+    (Modelcheck.Explorer.explore ~check:`None ~max_schedules:50_000
+       (sharded_adoption_scenario ()))
+
+(* Crash-fault conservation: kill the popping thread at every reachable
+   step count; survivors (including the adoption control plane) must
+   complete and a full drain must balance the committed operations.
+   The default steal_batch = 1 keeps at most one item in any thread's
+   hand, matching check_crash's single-in-flight-item uncertainty. *)
+let test_sharded_crash_conserves () =
+  match
+    Modelcheck.Explorer.check_crash (sharded_adoption_scenario ()) ~victim:1
+  with
+  | Ok n -> Alcotest.(check bool) "crash points exercised" true (n > 0)
+  | Error j -> Alcotest.failf "value lost or duplicated at crash point %d" j
+
+(* Non-blocking progress: freeze the popper at every reachable step
+   count; pushes and the quarantine/adopt/revive cycle must still
+   complete (this is the leg that caught a spinning adopt). *)
+let test_sharded_nonblocking () =
+  match
+    Modelcheck.Explorer.check_nonblocking (sharded_adoption_scenario ())
+      ~victim:1
+  with
+  | Ok n -> Alcotest.(check bool) "stall points exercised" true (n > 0)
+  | Error j -> Alcotest.failf "service blocked at stall point %d" j
+
 let () =
   Alcotest.run "modelcheck"
     [
@@ -439,6 +503,17 @@ let () =
         [
           Alcotest.test_case "array 3x3 sampled" `Slow test_sampled_array;
           Alcotest.test_case "list 3x2 sampled" `Slow test_sampled_list;
+        ] );
+      ( "sharded service (E24)",
+        [
+          Alcotest.test_case "push vs pop exhaustive" `Slow
+            test_sharded_exhaustive;
+          Alcotest.test_case "adoption race bounded" `Slow
+            test_sharded_adoption_bounded;
+          Alcotest.test_case "crash conserves values" `Slow
+            test_sharded_crash_conserves;
+          Alcotest.test_case "stall never blocks service" `Slow
+            test_sharded_nonblocking;
         ] );
       ("scenario fuzzing", fuzz_tests);
       ( "determinism",

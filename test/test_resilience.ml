@@ -176,9 +176,42 @@ let test_policy_spill_conservation () =
     [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
     (List.sort compare !popped);
   let s = P.stats d in
-  Alcotest.(check bool) "overflow pops accounted" true
-    (s.Deque.Policy.spill_drained >= 6);
+  (* each parked value leaves the overflow exactly once — either via
+     the pop fallback or via an opportunistic refill *)
+  Alcotest.(check int) "every parked value left the overflow once" 6
+    (s.Deque.Policy.spill_drained + s.Deque.Policy.refilled);
   Alcotest.(check int) "overflow empty again" 0 s.Deque.Policy.overflow_size
+
+(* The drain-back path specifically: a pop that frees a slot must pull
+   a parked value back into the primary, so the backlog shrinks under
+   mixed traffic without the primary ever going empty. *)
+let test_policy_spill_refill () =
+  let d = P.create ~full:Deque.Policy.Spill ~capacity:2 () in
+  fill_via_policy (fun v -> P.push_right d v) 4;
+  let s = P.stats d in
+  Alcotest.(check int) "two values parked" 2 s.Deque.Policy.spilled;
+  Alcotest.(check int) "no refill while the primary is full" 0
+    s.Deque.Policy.refilled;
+  (match P.pop_right d with
+  | `Value _ -> ()
+  | `Empty | `Timeout -> Alcotest.fail "pop of a full spill wrapper");
+  let s = P.stats d in
+  Alcotest.(check int) "the freed slot was refilled" 1
+    s.Deque.Policy.refilled;
+  Alcotest.(check int) "one fewer value parked" 1
+    s.Deque.Policy.overflow_size;
+  let rec drain acc =
+    match P.pop_right d with
+    | `Value v -> drain (v :: acc)
+    | `Empty -> acc
+    | `Timeout -> Alcotest.fail "no deadline given, Timeout impossible"
+  in
+  let rest = drain [] in
+  Alcotest.(check int) "all values conserved" 3 (List.length rest);
+  let s = P.stats d in
+  Alcotest.(check int) "parked values accounted exactly once" 2
+    (s.Deque.Policy.spill_drained + s.Deque.Policy.refilled);
+  Alcotest.(check int) "overflow drained" 0 s.Deque.Policy.overflow_size
 
 let test_policy_no_deadline_is_immediate () =
   let d = P.create ~capacity:4 () in
@@ -275,6 +308,8 @@ let () =
           Alcotest.test_case "bounded retry cap" `Quick test_policy_retry_cap;
           Alcotest.test_case "spill conserves values" `Quick
             test_policy_spill_conservation;
+          Alcotest.test_case "spill drains back opportunistically" `Quick
+            test_policy_spill_refill;
           Alcotest.test_case "no deadline, no waiting" `Quick
             test_policy_no_deadline_is_immediate;
           Alcotest.test_case "deadlines bound time under 20% chaos" `Quick
