@@ -2198,6 +2198,269 @@ let e24 ~quick =
     cfg.Worksteal.Shard_service.burst duration
 
 (* ------------------------------------------------------------------ *)
+(* E25: multi-storm survival soak — deadlines, zombies, fencing        *)
+(* ------------------------------------------------------------------ *)
+
+(* E24 with every remaining failure mode armed at once: per-request
+   deadlines with admission control (sheds enter the conservation law
+   as first-class timed-out outcomes), a zombified consumer that keeps
+   ticking its heartbeat while doing no work (progress-based fencing
+   must catch it — silence detection cannot), and a declarative
+   multi-storm schedule overlapping kill, freeze, zombie and chaos
+   windows with seeded jitter.  Reuses E24's composed substrate. *)
+let e25 ~quick =
+  header "E25 multi-storm survival soak: deadlines, zombies, fencing";
+  let duration = dur ~quick 2.4 in
+  let finite f = if Float.is_finite f then f else 0. in
+  let cfg =
+    {
+      Worksteal.Shard_service.default with
+      shards = 4;
+      producers = 2;
+      consumers = 3;
+      capacity = 256;
+      rate = 4_000.;
+      burst = 16;
+      urgent_share = 0.15;
+      deadline = Some 0.05;
+      (* 50ms budget per request, stamped at admission *)
+      admission = true;
+      seed = 0xE25;
+      sup =
+        {
+          Worksteal.Supervisor.default with
+          (* silence detection off for E24's reason (an oversubscribed
+             box makes busy-but-alive quiet spells nondeterministic);
+             zombie detection is progress-based and stays armed — it is
+             the detector this soak exists to exercise *)
+          silence_after = 0.;
+          zombie_after = 0.08;
+        };
+    }
+  in
+  let slots =
+    cfg.Worksteal.Shard_service.producers
+    + cfg.Worksteal.Shard_service.consumers
+  in
+  (* recovery-latency quantiles over the per-event list *)
+  let lat_q rs p =
+    match List.sort compare rs with
+    | [] -> 0.
+    | sorted ->
+        let n = List.length sorted in
+        let i = Float.to_int (p *. float_of_int (n - 1) +. 0.5) in
+        List.nth sorted (min (n - 1) (max 0 i))
+  in
+  let cell ~label ~storm =
+    Harness.Crash.reset ();
+    Harness.Stall.Freezer.reset ();
+    Harness.Stall.Zombie.reset ();
+    Soak_chaos.disarm ();
+    let fault_phase = Atomic.make false in
+    let mk () =
+      Array.init slots (fun _ ->
+          Fixed_histogram.create ~width_ns:500. ~buckets:65536 ())
+    in
+    let calm_h = mk () and fault_h = mk () in
+    let record ~tid ~ns =
+      let h = if Atomic.get fault_phase then fault_h else calm_h in
+      if tid >= 0 && tid < slots then Fixed_histogram.add h.(tid) ~ns
+    in
+    let on_push ~tid ~ns = function
+      | `Okay -> record ~tid ~ns
+      | `Full | `Timeout -> ()
+    in
+    let on_pop ~tid ~ns = function
+      | `Value _ -> record ~tid ~ns
+      | `Empty | `Timeout -> ()
+    in
+    (* The storm schedule occupies the middle third: a zombie window on
+       the last consumer, a mid-CASN kill of the first consumer, a
+       short freeze of producer 0 and a chaos window, overlapping, with
+       seeded jitter so repeated soaks sample different alignments. *)
+    let third = duration /. 3. in
+    let windows =
+      if not storm then []
+      else
+        Harness.Storm.jittered ~seed:0xE25 ~jitter:(third /. 20.)
+          [
+            {
+              Harness.Storm.at = third;
+              hold = third;
+              fault = Harness.Storm.Chaos;
+            };
+            {
+              Harness.Storm.at = third *. 1.1;
+              hold = third *. 0.8;
+              fault =
+                Harness.Storm.Zombie { tid = slots - 1 };
+            };
+            {
+              Harness.Storm.at = third *. 1.3;
+              hold = Float.min 0.05 (third /. 4.);
+              fault = Harness.Storm.Freeze { tid = 0 };
+            };
+            {
+              Harness.Storm.at = third *. 1.5;
+              hold = third *. 0.2;
+              fault =
+                Harness.Storm.Kill
+                  {
+                    tid = cfg.Worksteal.Shard_service.producers;
+                    mid_casn = true;
+                  };
+            };
+          ]
+    in
+    let landings = ref [] in
+    let driver () =
+      if storm then begin
+        landings :=
+          Harness.Storm.run
+            ~arm_chaos:(fun () ->
+              Soak_chaos.configure ~fail_prob:0.002 ~seed:0xC4A05 ())
+            ~disarm_chaos:Soak_chaos.disarm
+            ~chaos_hits:(fun () ->
+              (Soak_mem.stats ()).Dcas.Memory_intf.chaos_spurious)
+            ~on_active:(fun n -> Atomic.set fault_phase (n > 0))
+            ~settle:(Float.min 0.1 third) windows;
+        Atomic.set fault_phase false;
+        (* calm recovery tail *)
+        Unix.sleepf third
+      end
+      else Unix.sleepf duration
+    in
+    let spurious0 = (Soak_mem.stats ()).Dcas.Memory_intf.chaos_spurious in
+    let bites0 = Harness.Stall.Zombie.bites () in
+    let r = Soak_service.run ~config:cfg ~on_push ~on_pop ~driver ~duration () in
+    let freezes = Harness.Stall.Freezer.freeze_hits () in
+    let spurious =
+      (Soak_mem.stats ()).Dcas.Memory_intf.chaos_spurious - spurious0
+    in
+    let zombie_bites = Harness.Stall.Zombie.bites () - bites0 in
+    let landed =
+      List.length (List.filter (fun l -> l.Harness.Storm.landed) !landings)
+    in
+    Harness.Crash.reset ();
+    Harness.Stall.Freezer.reset ();
+    Harness.Stall.Zombie.reset ();
+    let open Worksteal.Shard_service in
+    let merge hs =
+      Array.fold_left Fixed_histogram.merge hs.(0)
+        (Array.sub hs 1 (slots - 1))
+    in
+    let q h p =
+      if Fixed_histogram.count h = 0 then 0.
+      else finite (Fixed_histogram.quantile_ns h p)
+    in
+    let ch = merge calm_h and fh = merge fault_h in
+    let conserved = if conserved r then 1 else 0 in
+    let tp =
+      if r.elapsed > 0. then
+        float_of_int (r.pushed_ok + r.executed) /. r.elapsed
+      else 0.
+    in
+    let imbalance =
+      finite (Harness.Metrics.Starvation.of_counts r.per_shard_popped).imbalance
+    in
+    let shed_total = shed r in
+    let shed_rate =
+      if r.spawned > 0 then float_of_int shed_total /. float_of_int r.spawned
+      else 0.
+    in
+    emit_json
+      (Harness.Json.Obj
+         [
+           ("experiment", Harness.Json.String "e25");
+           ("section", Harness.Json.String "soak");
+           ("cell", Harness.Json.String label);
+           ("shards", Harness.Json.Int cfg.shards);
+           ("producers", Harness.Json.Int cfg.producers);
+           ("consumers", Harness.Json.Int cfg.consumers);
+           ("rate", Harness.Json.Float cfg.rate);
+           ( "deadline_s",
+             Harness.Json.Float (Option.value ~default:0. cfg.deadline) );
+           ("elapsed_s", Harness.Json.Float r.elapsed);
+           ("ops_per_sec", Harness.Json.Float tp);
+           ("spawned", Harness.Json.Int r.spawned);
+           ("executed", Harness.Json.Int r.executed);
+           ("reconciled", Harness.Json.Int r.reconciled);
+           ("shed_admission", Harness.Json.Int r.shed_admission);
+           ("shed_expired", Harness.Json.Int r.shed_expired);
+           ("shed_rate", Harness.Json.Float shed_rate);
+           ("leftover", Harness.Json.Int r.leftover);
+           ("conserved", Harness.Json.Int conserved);
+           ("pushed_ok", Harness.Json.Int r.pushed_ok);
+           ("push_full", Harness.Json.Int r.push_full);
+           ("timeouts", Harness.Json.Int r.timeouts);
+           ("overshoot_max_ns", Harness.Json.Int r.overshoot_max_ns);
+           ("killed", Harness.Json.Int r.killed);
+           ("zombies_fenced", Harness.Json.Int r.zombies_fenced);
+           ("zombie_bites", Harness.Json.Int zombie_bites);
+           ("replacements", Harness.Json.Int r.replacements);
+           ("adoptions", Harness.Json.Int r.adoptions);
+           ("adopted_items", Harness.Json.Int r.adopted_items);
+           ("orphans_helped", Harness.Json.Int r.orphans_helped);
+           ("freezes", Harness.Json.Int freezes);
+           ("chaos_spurious", Harness.Json.Int spurious);
+           ("storm_windows", Harness.Json.Int (List.length windows));
+           ("storm_landed", Harness.Json.Int landed);
+           ("recoveries", Harness.Json.Int (List.length r.recoveries));
+           ("recovery_p50_s", Harness.Json.Float (lat_q r.recoveries 0.5));
+           ("recovery_p90_s", Harness.Json.Float (lat_q r.recoveries 0.9));
+           ( "recovery_max_s",
+             Harness.Json.Float (List.fold_left Float.max 0. r.recoveries) );
+           ("calm_p50_ns", Harness.Json.Float (q ch 0.5));
+           ("calm_p99_ns", Harness.Json.Float (q ch 0.99));
+           ("calm_p999_ns", Harness.Json.Float (q ch 0.999));
+           ("fault_p50_ns", Harness.Json.Float (q fh 0.5));
+           ("fault_p99_ns", Harness.Json.Float (q fh 0.99));
+           ("fault_p999_ns", Harness.Json.Float (q fh 0.999));
+           ("imbalance", Harness.Json.Float imbalance);
+         ]);
+    [
+      label;
+      fmt_tp tp;
+      fmt_ns (q ch 0.99);
+      (if Fixed_histogram.count fh = 0 then "-" else fmt_ns (q fh 0.99));
+      Printf.sprintf "%.1f%%" (shed_rate *. 100.);
+      string_of_int r.overshoot_max_ns;
+      string_of_int r.killed;
+      string_of_int r.zombies_fenced;
+      string_of_int freezes;
+      Printf.sprintf "%d/%d" landed (List.length windows);
+      (if r.recoveries = [] then "-"
+       else Printf.sprintf "%.3fs" (List.fold_left Float.max 0. r.recoveries));
+      (if conserved = 1 then "ok"
+       else
+         Printf.sprintf "VIOLATED %d<>%d+%d+%d (+%d left)" r.spawned
+           r.executed r.reconciled shed_total r.leftover);
+    ]
+  in
+  let calm_row = cell ~label:"calm" ~storm:false in
+  let storm_row = cell ~label:"storm" ~storm:true in
+  let rows = [ calm_row; storm_row ] in
+  Harness.Table.print
+    ~headers:
+      [
+        "cell"; "ops/s"; "calm p99"; "fault p99"; "shed"; "overshoot ns";
+        "killed"; "zfenced"; "freezes"; "landed"; "recovery"; "conserved";
+      ]
+    rows;
+  note
+    "%d shards (%d producers + %d consumers + monitor), 50ms request\n\
+     deadlines with p99-sojourn admission control; the storm cell runs\n\
+     a jittered schedule of four overlapping windows — seeded chaos, a\n\
+     zombified consumer (ticking heartbeat, zero progress: only the\n\
+     progress-based detector can fence it), a frozen producer and a\n\
+     mid-CASN consumer kill — and must land every window, fence the\n\
+     zombie exactly once, and keep the extended conservation law\n\
+     spawned = executed + reconciled + shed with a zero-leftover drain\n\
+     and no served op finishing past its stamped deadline"
+    cfg.Worksteal.Shard_service.shards cfg.Worksteal.Shard_service.producers
+    cfg.Worksteal.Shard_service.consumers
+
+(* ------------------------------------------------------------------ *)
 
 type experiment = { id : string; title : string; run : quick:bool -> unit }
 
@@ -2240,5 +2503,10 @@ let all : experiment list =
       id = "e24";
       title = "sharded service soak: SLO under live fault storms";
       run = e24;
+    };
+    {
+      id = "e25";
+      title = "multi-storm survival soak: deadlines, zombies, fencing";
+      run = e25;
     };
   ]

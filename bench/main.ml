@@ -331,6 +331,116 @@ let check_e24 rows =
     fail "storm: fault quantiles out of order";
   Printf.printf "e24 invariants: ok\n"
 
+(* E25 cross-checks: deadline enforcement, zombie fencing and the
+   multi-storm schedule must all demonstrably fire, the extended
+   conservation law spawned = executed + reconciled + shed must hold
+   in every cell with a zero-leftover drain, no served operation may
+   finish past its stamped deadline beyond a scheduling epsilon, and
+   every scheduled storm window must land. *)
+let check_e25 rows =
+  let open Harness.Json in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "e25 invariant violated: %s\n" m;
+        exit 1)
+      fmt
+  in
+  let str k r = Option.value ~default:"?" (string_value (member k r)) in
+  let num k r =
+    match number_value (member k r) with
+    | Some v -> v
+    | None -> fail "row %S lacks numeric %S" (str "cell" r) k
+  in
+  let int_of k r = int_of_float (num k r) in
+  let soak = List.filter (fun r -> str "section" r = "soak") rows in
+  let cell c =
+    match List.find_opt (fun r -> str "cell" r = c) soak with
+    | Some r -> r
+    | None -> fail "missing %s cell" c
+  in
+  if List.length soak <> 2 then
+    fail "expected 2 soak rows, got %d" (List.length soak);
+  let calm = cell "calm" and storm = cell "storm" in
+  List.iter
+    (fun r ->
+      let c = str "cell" r in
+      if int_of "spawned" r <= 0 then fail "%s: spawned nothing" c;
+      if int_of "conserved" r <> 1 then
+        fail "%s: spawned %d <> executed %d + reconciled %d + shed %d+%d" c
+          (int_of "spawned" r) (int_of "executed" r) (int_of "reconciled" r)
+          (int_of "shed_admission" r) (int_of "shed_expired" r);
+      if int_of "leftover" r <> 0 then
+        fail "%s: %d items left after the final drain" c (int_of "leftover" r);
+      if not (num "ops_per_sec" r > 0.) then fail "%s: no throughput" c;
+      (* deadline enforcement: expired items are shed at dequeue, so a
+         served op finishing past its stamped expiry beyond a
+         scheduling epsilon is an enforcement bug *)
+      if num "overshoot_max_ns" r > 50e6 then
+        fail "%s: served op finished %.1fms past its deadline" c
+          (num "overshoot_max_ns" r /. 1e6);
+      if
+        num "calm_p50_ns" r > num "calm_p99_ns" r
+        || num "calm_p99_ns" r > num "calm_p999_ns" r
+      then
+        fail "%s: calm quantiles out of order (%.0f/%.0f/%.0f)" c
+          (num "calm_p50_ns" r) (num "calm_p99_ns" r) (num "calm_p999_ns" r))
+    soak;
+  (* shed-rate ceilings: a calm cell shedding visibly means admission
+     or expiry fires without cause; a storm cell may shed heavily but
+     must still serve a floor of its traffic *)
+  if num "shed_rate" calm > 0.05 then
+    fail "calm cell shed %.1f%% of its traffic" (num "shed_rate" calm *. 100.);
+  if num "shed_rate" storm > 0.75 then
+    fail "storm cell shed %.1f%% of its traffic"
+      (num "shed_rate" storm *. 100.);
+  if
+    int_of "killed" calm <> 0
+    || int_of "freezes" calm <> 0
+    || int_of "chaos_spurious" calm <> 0
+    || int_of "storm_windows" calm <> 0
+  then fail "calm cell saw storm faults";
+  (* the false-positive gates: no zombie bites without a zombie window,
+     and — the satellite regression — no fencing of healthy consumers
+     (an idle or merely descheduled consumer must trip neither
+     detector) *)
+  if int_of "zombie_bites" calm <> 0 then fail "calm cell saw zombie bites";
+  if int_of "zombies_fenced" calm <> 0 then
+    fail "calm cell fenced %d healthy consumers as zombies"
+      (int_of "zombies_fenced" calm);
+  if int_of "storm_windows" storm < 4 then
+    fail "storm cell scheduled only %d windows" (int_of "storm_windows" storm);
+  if int_of "storm_landed" storm <> int_of "storm_windows" storm then
+    fail "only %d of %d storm windows landed" (int_of "storm_landed" storm)
+      (int_of "storm_windows" storm);
+  if int_of "killed" storm < 1 then fail "storm cell killed nobody";
+  if int_of "freezes" storm < 1 then fail "storm cell froze nobody";
+  if int_of "chaos_spurious" storm < 1 then
+    fail "storm cell injected no spurious DCAS failures";
+  if int_of "zombie_bites" storm < 1 then
+    fail "storm cell's zombie never bit (suppressed no operations)";
+  if int_of "zombies_fenced" storm < 1 then
+    fail "storm cell fenced no zombie (progress-based detection failed)";
+  if
+    int_of "replacements" storm
+    < int_of "killed" storm + int_of "zombies_fenced" storm
+  then
+    fail "storm: %d replacements for %d deaths + %d zombies"
+      (int_of "replacements" storm) (int_of "killed" storm)
+      (int_of "zombies_fenced" storm);
+  if int_of "recoveries" storm < 1 || not (num "recovery_max_s" storm > 0.)
+  then fail "storm cell recorded no recovery latency";
+  if
+    num "recovery_p50_s" storm > num "recovery_p90_s" storm
+    || num "recovery_p90_s" storm > num "recovery_max_s" storm
+  then
+    fail "storm: recovery quantiles out of order (%.3f/%.3f/%.3f)"
+      (num "recovery_p50_s" storm) (num "recovery_p90_s" storm)
+      (num "recovery_max_s" storm);
+  if num "fault_p50_ns" storm > num "fault_p99_ns" storm then
+    fail "storm: fault quantiles out of order";
+  Printf.printf "e25 invariants: ok\n"
+
 (* Parse a --json document back and print a deterministic summary; the
    cram test uses this as the round-trip check. *)
 let check_json file =
@@ -374,127 +484,40 @@ let check_json file =
               if id = "e21" then check_e21 rows;
               if id = "e22" then check_e22 rows;
               if id = "e23" then check_e23 rows;
-              if id = "e24" then check_e24 rows)
+              if id = "e24" then check_e24 rows;
+              if id = "e25" then check_e25 rows)
         (to_list (member "experiments" doc))
 
 (* --- Baseline comparison: bench --compare OLD.json NEW.json ---
 
-   Rows are matched across the two documents by experiment id plus
-   every string-valued field (backend, mix, section, cell, ...) plus
-   the domain count — the stable identity of a benchmark cell.  Every
-   matched pair prints its ops_per_sec delta; a hot-path row
-   regressing by more than 20% fails the run with exit 3, the same
-   exit-code convention as the stress driver's acceptance failures.
-
-   Hot path = the single-domain e23 shootout rows and the e24 soak
-   cells.  Multi-domain cells are deliberately excluded from the gate
-   (their deltas still print): on an oversubscribed box a domains>1
-   cell measures the OS scheduler's interleaving luck, and observed
-   run-to-run swings exceed any honest threshold — single-domain
-   throughput and the rate-paced soak are the reproducible signals.
-   New and vanished rows are reported but never fail: growing the
-   suite must not break the gate. *)
-
-let regression_threshold = 20.0
-
-let load_doc file =
-  let ic = open_in_bin file in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  match Harness.Json.of_string text with
-  | exception Harness.Json.Parse_error m ->
-      Printf.eprintf "invalid JSON in %s: %s\n" file m;
-      exit 1
-  | doc ->
-      (match Harness.Json.string_value (Harness.Json.member "schema" doc) with
-      | Some s when s = schema_id -> ()
-      | Some s ->
-          Printf.eprintf "%s: unexpected schema %S\n" file s;
-          exit 1
-      | None ->
-          Printf.eprintf "%s: missing schema field\n" file;
-          exit 1);
-      doc
-
-let row_key ~id row =
-  let open Harness.Json in
-  match row with
-  | Obj fields ->
-      let parts =
-        List.filter_map
-          (fun (k, v) ->
-            match v with
-            | String s -> Some (Printf.sprintf "%s=%s" k s)
-            | Int n when k = "domains" -> Some (Printf.sprintf "%s=%d" k n)
-            | _ -> None)
-          fields
-      in
-      String.concat " " (id :: List.sort compare parts)
-  | _ -> id
-
-let indexed_rows doc =
-  let open Harness.Json in
-  List.concat_map
-    (fun e ->
-      match string_value (member "id" e) with
-      | None -> []
-      | Some id ->
-          List.map (fun r -> (row_key ~id r, r)) (to_list (member "rows" e)))
-    (to_list (member "experiments" doc))
+   The row matching, delta and hot-path gating logic lives in
+   {!Harness.Compare} (unit tested in test_harness.ml); this wrapper
+   only maps its verdict onto the driver's exit-code convention:
+   broken inputs (missing file, bad JSON, wrong schema, NaN or
+   missing ops_per_sec in a matched cell, nothing to compare) are
+   usage-class failures — exit 2 — kept distinct from an honest
+   hot-path regression's exit 3. *)
 
 let compare_files old_file new_file =
-  let open Harness.Json in
-  let old_rows = indexed_rows (load_doc old_file) in
-  let new_rows = indexed_rows (load_doc new_file) in
-  let ops r = number_value (member "ops_per_sec" r) in
-  let hot key =
-    let parts = String.split_on_char ' ' key in
-    let has s = List.mem s parts in
-    (has "section=shootout" && has "domains=1") || has "section=soak"
-  in
-  let regressions = ref [] in
-  let matched = ref 0 in
   Printf.printf "comparing %s (old) -> %s (new)\n" old_file new_file;
-  List.iter
-    (fun (key, nr) ->
-      match List.assoc_opt key old_rows with
-      | None -> Printf.printf "  new       %s\n" key
-      | Some orow -> (
-          match (ops orow, ops nr) with
-          | Some o, Some n when o > 0. ->
-              incr matched;
-              let delta = (n -. o) /. o *. 100. in
-              let flag =
-                if hot key && delta < -.regression_threshold then begin
-                  regressions := (key, delta) :: !regressions;
-                  "  REGRESSION"
-                end
-                else ""
-              in
-              Printf.printf "  %+7.1f%%  %s  (%.0f -> %.0f ops/s)%s\n" delta
-                key o n flag
-          | _ -> ()))
-    new_rows;
-  List.iter
-    (fun (key, _) ->
-      if not (List.mem_assoc key new_rows) then
-        Printf.printf "  vanished  %s\n" key)
-    old_rows;
-  Printf.printf "%d rows matched\n" !matched;
-  if !matched = 0 then begin
-    Printf.eprintf "no comparable rows between %s and %s\n" old_file new_file;
-    exit 1
-  end;
-  match !regressions with
-  | [] -> Printf.printf "no hot-path regressions beyond %.0f%%\n" regression_threshold
-  | l ->
-      Printf.eprintf "%d hot-path regression(s) beyond %.0f%%:\n" (List.length l)
-        regression_threshold;
-      List.iter
-        (fun (key, d) -> Printf.eprintf "  %+.1f%%  %s\n" d key)
-        (List.rev l);
-      exit 3
+  match
+    Harness.Compare.run ~print:print_endline ~schema:schema_id ~old_file
+      ~new_file ()
+  with
+  | Harness.Compare.Invalid m ->
+      Printf.eprintf "%s\n" m;
+      exit 2
+  | Harness.Compare.Compared { matched; regressions } -> (
+      Printf.printf "%d rows matched\n" matched;
+      match regressions with
+      | [] ->
+          Printf.printf "no hot-path regressions beyond %.0f%%\n"
+            Harness.Compare.default_threshold
+      | l ->
+          Printf.eprintf "%d hot-path regression(s) beyond %.0f%%:\n"
+            (List.length l) Harness.Compare.default_threshold;
+          List.iter (fun (key, d) -> Printf.eprintf "  %+.1f%%  %s\n" d key) l;
+          exit 3)
 
 let main quick json_file check compare ids =
   match (check, compare, ids) with

@@ -64,7 +64,7 @@ let ints_conv =
     )
 
 let scenario_of ~algo ~length ~prefill ~setup ~chaos_fail ~chaos_freeze
-    ~chaos_freeze_spins ~chaos_seed ~shards ~adopt_token ~threads =
+    ~chaos_freeze_spins ~chaos_seed ~shards ~adopt_token ~shed_token ~threads =
   let threads = if threads = [] then [ [ Spec.Op.Pop_right ] ] else threads in
   match algo with
   | "array" ->
@@ -122,11 +122,13 @@ let scenario_of ~algo ~length ~prefill ~setup ~chaos_fail ~chaos_freeze
            ~chaos_seed ~name:"cli" ~prefill ~setup threads)
   | "st-broken" ->
       Ok (Modelcheck.Scenario.st_deque_buggy ~name:"cli" ~prefill ~setup threads)
-  | "sharded" ->
-      if setup <> [] then Error "sharded: --setup is not supported"
+  | "sharded" | "sharded-nofence" ->
+      if setup <> [] then Error (algo ^ ": --setup is not supported")
       else
         Ok
           (Modelcheck.Scenario.sharded ~shards ~capacity:length ~adopt_token
+             ~shed_token
+             ~fence_adoption:(algo = "sharded")
              ~name:"cli" ~prefill threads)
   | other -> Error ("unknown algorithm: " ^ other)
 
@@ -170,18 +172,20 @@ let run_replay scenario token ~max_steps =
         (threads, failure, Modelcheck.Fuzz.token_of threads failure.schedule);
       1
 
+let is_sharded algo = algo = "sharded" || algo = "sharded-nofence"
+
 let run algo length prefill setup threads sample seed victim crash
     max_schedules max_steps fuzz pct depth no_shrink replay chaos_fail
-    chaos_freeze chaos_freeze_spins chaos_seed shards adopt_token =
+    chaos_freeze chaos_freeze_spins chaos_seed shards adopt_token shed_token =
   match
     scenario_of ~algo ~length ~prefill ~setup ~chaos_fail ~chaos_freeze
-      ~chaos_freeze_spins ~chaos_seed ~shards ~adopt_token ~threads
+      ~chaos_freeze_spins ~chaos_seed ~shards ~adopt_token ~shed_token ~threads
   with
   | Error e ->
       prerr_endline e;
       2
   | Ok scenario
-    when algo = "sharded"
+    when is_sharded algo
          && (sample <> None || fuzz <> None || pct <> None || replay <> None)
     ->
       ignore scenario;
@@ -189,8 +193,9 @@ let run algo length prefill setup threads sample seed victim crash
          linearizability oracle, which the sharded composite does not
          satisfy by design *)
       prerr_endline
-        "sharded: not linearizable to one deque; use plain explore \
-         (invariant-checked), --victim, or --crash";
+        (algo
+        ^ ": not linearizable to one deque; use plain explore \
+           (invariant-checked), --victim, or --crash");
       2
   | Ok scenario ->
       let code =
@@ -235,7 +240,7 @@ let run algo length prefill setup threads sample seed victim crash
                   scenario
             | None ->
                 let check =
-                  if algo = "sharded" then `None else `Linearizability
+                  if is_sharded algo then `None else `Linearizability
                 in
                 Modelcheck.Explorer.explore ~max_steps ~max_schedules ~check
                   scenario
@@ -259,7 +264,9 @@ let algo =
            greenwald1, greenwald2, st (Sundell-Tsigas single-word CAS), \
            list-broken, st-broken (deliberately buggy), list-chaos, st-chaos \
            (fault injection), sharded (K-shard service front end; \
-           invariant-checked, not linearizability-checked).")
+           invariant-checked, not linearizability-checked), sharded-nofence \
+           (sharded with the adoption fence deliberately omitted — the \
+           planted E25 zombie-adoption bug).")
 
 let length =
   Arg.(
@@ -281,6 +288,18 @@ let adopt_token =
           "sharded: pushing $(docv) quarantines, adopts and revives its home \
            shard instead of pushing — script it on one thread to race \
            adoption against routing (default: disabled).")
+
+let shed_token =
+  Arg.(
+    value
+    & opt int (min_int + 1)
+    & info [ "shed-token" ] ~docv:"V"
+        ~doc:
+          "sharded: pushing $(docv) instead performs an urgent pop through \
+           the token's route and $(i,discards) the value into a shed log — \
+           the model of E25's deadline shed; the invariant then also checks \
+           that no value is shed twice or both shed and resident (default: \
+           disabled).")
 
 let prefill =
   Arg.(
@@ -419,6 +438,6 @@ let cmd =
       const run $ algo $ length $ prefill $ setup $ threads $ sample $ seed
       $ victim $ crash $ max_schedules $ max_steps $ fuzz $ pct $ depth
       $ no_shrink $ replay $ chaos_fail $ chaos_freeze $ chaos_freeze_spins
-      $ chaos_seed $ shards $ adopt_token)
+      $ chaos_seed $ shards $ adopt_token $ shed_token)
 
 let () = exit (Cmd.eval' cmd)

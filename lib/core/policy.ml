@@ -73,6 +73,50 @@ let pp_stats ppf s =
     s.ok s.full_rejections s.empty_misses s.timeouts s.retries s.spilled
     s.spill_drained s.refilled s.overflow_size s.max_latency_ns
 
+(* A tiny concurrent latency sketch for admission control: power-of-two
+   nanosecond buckets under padded atomic counters.  Writers only ever
+   [Atomic.incr] one bucket, so recording is wait-free and cheap enough
+   for every served request; readers fold the counters for a
+   conservative (bucket-upper-bound) quantile.  Reads racing writes can
+   be off by in-flight increments — fine for a shedding heuristic,
+   which only needs the order of magnitude of the tail. *)
+module Lat = struct
+  let buckets = 64
+
+  type t = int Atomic.t array
+
+  let create () : t =
+    Array.init buckets (fun _ -> Dcas.Padding.make_atomic 0)
+
+  let bucket_of ~ns =
+    if not (ns >= 2.) (* also NaN *) then 0
+    else
+      let b = int_of_float (Float.log2 ns) in
+      if b >= buckets then buckets - 1 else b
+
+  let note (t : t) ~ns = Atomic.incr t.(bucket_of ~ns)
+  let count (t : t) = Array.fold_left (fun n c -> n + Atomic.get c) 0 t
+
+  (* Upper bound of the bucket holding the q-th ranked observation:
+     never underestimates the tail by more than one doubling. *)
+  let quantile_ns (t : t) q =
+    let total = count t in
+    if total = 0 then 0.
+    else
+      let rank =
+        let r = int_of_float (ceil (q *. float_of_int total)) in
+        if r < 1 then 1 else if r > total then total else r
+      in
+      let rec go b seen =
+        if b >= buckets then Float.pow 2. (float_of_int buckets)
+        else
+          let seen = seen + Atomic.get t.(b) in
+          if seen >= rank then Float.pow 2. (float_of_int (b + 1))
+          else go (b + 1) seen
+      in
+      go 0 0
+end
+
 module Make (D : Deque_intf.S) = struct
   module Overflow = List_deque.Lockfree
 

@@ -91,6 +91,17 @@ module Make (D : Deque_intf.S) = struct
     s_rerouted : int Atomic.t;
     s_stolen : int Atomic.t;
     s_adopted : int Atomic.t;
+    (* the limbo stash: an unbounded last-resort side list for items
+       that could not be placed on any shard (every bounded shard at
+       capacity — an over-committed fault storm).  It is what lets the
+       control plane (adoption, rebalancing park-backs) terminate
+       instead of spinning; consumers drain it through [pop] once the
+       shards come up empty, and [drain] empties it, so nothing is
+       ever lost. *)
+    limbo : 'a list Atomic.t;
+    (* per-shard end-to-end sojourn observations (enqueue to serve),
+       fed by the consuming layer and read back by admission control *)
+    sojourn : Policy.Lat.t array;
   }
 
   let name = "sharded[" ^ D.name ^ "]"
@@ -109,7 +120,22 @@ module Make (D : Deque_intf.S) = struct
       s_rerouted = Dcas.Padding.make_atomic 0;
       s_stolen = Dcas.Padding.make_atomic 0;
       s_adopted = Dcas.Padding.make_atomic 0;
+      limbo = Dcas.Padding.make_atomic [];
+      sojourn = Array.init shards (fun _ -> Policy.Lat.create ());
     }
+
+  let rec limbo_put t v =
+    let old = Atomic.get t.limbo in
+    if not (Atomic.compare_and_set t.limbo old (v :: old)) then limbo_put t v
+
+  let rec limbo_take t =
+    match Atomic.get t.limbo with
+    | [] -> None
+    | v :: rest as old ->
+        if Atomic.compare_and_set t.limbo old rest then Some v
+        else limbo_take t
+
+  let limbo_list t = Atomic.get t.limbo
 
   let shards t = Array.length t.shards
   let alive t ~shard = Atomic.get t.alive.(shard)
@@ -131,6 +157,36 @@ module Make (D : Deque_intf.S) = struct
     probe 0
 
   let side_of ~urgent = if urgent then `Left else `Right
+
+  (* --- sojourn observation / admission control --- *)
+
+  (* The consuming layer reports each request's end-to-end sojourn
+     (enqueue to serve — or to shed, so the tail the estimator sees
+     includes the requests that missed) against the request's HOME
+     shard: admission decides against the home too, keeping the loop
+     closed even when stealing served the item elsewhere. *)
+  let note_sojourn t ~shard ~ns = Policy.Lat.note t.sojourn.(shard) ~ns
+
+  (* Below this many observations the estimate is noise; admit. *)
+  let min_observations = 32
+
+  let sojourn_p99_ns t ~shard =
+    let l = t.sojourn.(shard) in
+    if Policy.Lat.count l < min_observations then None
+    else Some (Policy.Lat.quantile_ns l 0.99)
+
+  (* Admission control: refuse at enqueue when the home shard's
+     observed p99 sojourn already exceeds this request's whole budget —
+     the request would almost surely expire in queue, so shedding it
+     now costs nothing and sheds load where it helps (before the push
+     touches shared state).  Conservative in both directions by
+     design: with few observations it admits (cold start), and the
+     p99 read is a bucket upper bound (sheds slightly early rather
+     than late). *)
+  let admit t ~key ~budget =
+    match sojourn_p99_ns t ~shard:(shard_of t ~key) with
+    | None -> true
+    | Some p99_ns -> p99_ns <= budget *. 1e9
 
   (* --- push --- *)
 
@@ -165,30 +221,37 @@ module Make (D : Deque_intf.S) = struct
 
   (* --- rebalancing --- *)
 
-  (* Park a value somewhere, never losing it: round-robin over the
-     shards with backoff until a push lands.  Reached only when a
-     stolen item's home filled up concurrently; with Spill shards (the
-     soak configuration) or unbounded shards it terminates on the
-     first attempt, and a full sweep finding every bounded shard at
-     capacity can only repeat while consumers are also running, so the
-     loop is effectively bounded in any execution that makes progress
-       elsewhere. *)
+  (* Park a value somewhere, never losing it AND never spinning:
+     round-robin over the live shards for a bounded number of sweeps,
+     then escape to the limbo stash.  Reached only when a moved item's
+     target filled up concurrently; with Spill shards (the soak
+     configuration) or unbounded shards it lands on the first attempt.
+     The bound matters: this runs on control-plane paths (adoption,
+     steal park-backs), and the system can be genuinely over-committed
+     — a racing push that routed before a quarantine can land in the
+     very slot an adoption's drain just freed, leaving one more item
+     than the bounded shards have slots.  No amount of re-placing
+     terminates then; the model checker's step-limit hunts are what
+     forced the escape hatch. *)
+  let place_sweeps = 3
+
   let place t ~start ~side v =
     let k = Array.length t.shards in
     let backoff = Dcas.Backoff.create () in
     let rec go i =
-      let s = (start + i) mod k in
-      let ok =
-        Atomic.get t.alive.(s)
-        && match P.push t.shards.(s) ~side v with
-           | `Okay -> true
-           | `Full | `Timeout -> false
-      in
-      if ok then s
-      else begin
-        if i + 1 >= k then Dcas.Backoff.once backoff;
-        go ((i + 1) mod k)
-      end
+      if i >= place_sweeps * k then limbo_put t v
+      else
+        let s = (start + i) mod k in
+        let ok =
+          Atomic.get t.alive.(s)
+          && match P.push t.shards.(s) ~side v with
+             | `Okay -> true
+             | `Full | `Timeout -> false
+        in
+        if not ok then begin
+          if (i + 1) mod k = 0 then Dcas.Backoff.once backoff;
+          go (i + 1)
+        end
     in
     go 0
 
@@ -210,7 +273,7 @@ module Make (D : Deque_intf.S) = struct
             | `Full | `Timeout ->
                 (* home filled concurrently: put the item back where
                    it came from and stop pulling *)
-                ignore (place t ~start:victim ~side:`Right v);
+                place t ~start:victim ~side:`Right v;
                 moved
             )
     in
@@ -249,14 +312,30 @@ module Make (D : Deque_intf.S) = struct
       | `Value v ->
           Atomic.incr t.s_popped.(home);
           `Value v
-      | `Empty -> try_steal t ~home
+      | `Empty -> (
+          match try_steal t ~home with
+          | `Value _ as hit -> hit
+          | `Empty -> (
+              (* last resort: the limbo stash (items parked there when
+                 every shard was full), credited to the server's home *)
+              match limbo_take t with
+              | Some v ->
+                  Atomic.incr t.s_popped.(home);
+                  `Value v
+              | None -> `Empty))
       | `Timeout -> `Timeout
     in
     match deadline with
     | None -> (attempt () :> 'a Policy.pop_outcome)
     | Some budget ->
         (* the deadline budgets the whole routed operation (home +
-           steal scan), retried with backoff until something turns up *)
+           steal scan), retried with backoff until something turns up.
+           Budget exhaustion with only no-finds surfaces as [`Empty],
+           not [`Timeout]: every attempt walked all shards and the
+           limbo stash, so the no-find is certified — and consumers'
+           quiescence certificates (full no-find scans) must keep
+           flowing even when every pop carries a deadline, or a
+           stranded pending unit could never be reconciled. *)
         let t0 = Unix.gettimeofday () in
         let backoff = Dcas.Backoff.create () in
         let rec go () =
@@ -264,7 +343,7 @@ module Make (D : Deque_intf.S) = struct
           | `Value v -> `Value v
           | `Timeout -> `Timeout
           | `Empty ->
-              if Unix.gettimeofday () -. t0 >= budget then `Timeout
+              if Unix.gettimeofday () -. t0 >= budget then `Empty
               else begin
                 Dcas.Backoff.once backoff;
                 go ()
@@ -290,10 +369,14 @@ module Make (D : Deque_intf.S) = struct
      adoption that spins while every survivor sits at capacity (Reject
      shards, consumers dead or stalled — exactly a fault storm) would
      hang the control plane.  So each item gets one attempt per live
-     shard; a full sweep parks it back on the source shard — which has
-     the slot the pop just freed, and is quarantined, so no push races
-     it — and ends the adoption early.  The model checker's frozen-
-     consumer schedules are what forced this shape. *)
+     shard; a full sweep parks it back on the source shard — which
+     usually has the slot the pop just freed — and ends the adoption
+     early.  "Usually": a straggler push that routed before the
+     quarantine can land in that slot mid-drain, over-committing the
+     bounded shards, so a failed park-back escapes through [place]'s
+     limbo stash rather than re-placing forever.  The model checker's
+     frozen-consumer and straggler schedules are what forced this
+     shape. *)
   let adopt t ~shard =
     let k = Array.length t.shards in
     if not (Array.exists Atomic.get t.alive) then 0
@@ -323,10 +406,13 @@ module Make (D : Deque_intf.S) = struct
               (match P.push t.shards.(shard) ~side:`Left v with
               | `Okay -> ()
               | `Full | `Timeout ->
-                  (* the freed slot vanished: something else is making
-                     progress on this shard, so the spinning fallback
-                     is safe — it only waits on that progress *)
-                  ignore (place t ~start:((shard + 1) mod k) ~side:`Right v));
+                  (* the freed slot vanished: a straggler push that
+                     routed before the quarantine landed mid-drain, so
+                     the system may hold one more item than the bounded
+                     shards have slots — [place]'s bounded sweeps and
+                     limbo escape keep the control plane from spinning
+                     on it *)
+                  place t ~start:((shard + 1) mod k) ~side:`Right v);
               n
             end
       in
@@ -367,5 +453,13 @@ module Make (D : Deque_intf.S) = struct
         in
         go ())
       t.shards;
+    let rec limbo () =
+      match limbo_take t with
+      | Some v ->
+          out := v :: !out;
+          limbo ()
+      | None -> ()
+    in
+    limbo ();
     List.rev !out
 end

@@ -74,6 +74,22 @@ module Make (D : Deque_intf.S) : sig
       [`Full] triggers one undeadlined attempt on each other live
       shard before [`Full] is surfaced. *)
 
+  val note_sojourn : 'a t -> shard:int -> ns:float -> unit
+  (** Report one request's end-to-end sojourn (enqueue to serve, or to
+      shed) against its home [shard].  Feeds the {!Policy.Lat} sketch
+      behind {!admit}; wait-free, safe from any domain. *)
+
+  val sojourn_p99_ns : 'a t -> shard:int -> float option
+  (** Upper-bound estimate of [shard]'s p99 sojourn in nanoseconds;
+      [None] until enough observations (32) have been recorded. *)
+
+  val admit : 'a t -> key:int -> budget:float -> bool
+  (** Admission control (E25): [false] when the home shard's observed
+      p99 sojourn already exceeds [budget] seconds — a request enqueued
+      now would almost surely expire before being served, so the caller
+      should shed it before pushing.  Admits during cold start (too few
+      observations). *)
+
   val pop :
     ?deadline:float -> ?urgent:bool -> 'a t -> key:int ->
     'a Policy.pop_outcome
@@ -82,9 +98,13 @@ module Make (D : Deque_intf.S) : sig
       empty home shard triggers a steal scan that transfers up to
       [steal_batch] items from the first non-empty peer — quarantined
       shards included, which is how items stranded by a crash stay
-      reachable — serving one and parking the rest on the home shard.
-      With a [deadline], the whole routed operation (home + scan)
-      retries with backoff until the budget is spent. *)
+      reachable — serving one and parking the rest on the home shard;
+      a fully empty scan checks the limbo stash last.  With a
+      [deadline], the whole routed operation (home + scan + stash)
+      retries with backoff until the budget is spent; exhausting the
+      budget on no-finds returns [`Empty] (a certified full no-find
+      scan — consumers' quiescence certificates depend on it), never
+      [`Timeout]. *)
 
   val quarantine : 'a t -> shard:int -> unit
   (** Take [shard] out of routing (its deque remains safe storage). *)
@@ -100,10 +120,21 @@ module Make (D : Deque_intf.S) : sig
       when no live shard exists to receive them.  Never blocks: an
       item that no live shard will take (all at capacity under
       {!Policy.Reject}) is parked back on the source shard and ends
-      the adoption early.  Safe concurrently with traffic; a push
-      that raced the quarantine, or an early end, can leave items on
-      the quarantined shard — they stay reachable via the steal
-      scan. *)
+      the adoption early — and if a straggler push that routed before
+      the quarantine stole that freed slot mid-drain (the shards are
+      then over-committed), the item escapes to the limbo stash
+      instead of re-placing forever.  Safe concurrently with traffic;
+      a push that raced the quarantine, or an early end, can leave
+      items on the quarantined shard — they stay reachable via the
+      steal scan. *)
+
+  val limbo_list : 'a t -> 'a list
+  (** Quiescent-only inspection: items currently parked in the limbo
+      stash — the unbounded last-resort side list used by adoption and
+      rebalancing park-backs when every bounded shard is at capacity,
+      so the control plane terminates instead of spinning.  Pops drain
+      it (after the steal scan) and {!drain} empties it; normally
+      empty. *)
 
   val stats : 'a t -> stats
   (** Service-level counters.  Internal transfers (steals, adoption)
@@ -117,7 +148,8 @@ module Make (D : Deque_intf.S) : sig
 
   val drain : 'a t -> 'a list
   (** Quiescent-only: pop every shard dry (left end; primary then
-      overflow) and return the values.  Leaves service counters
-      untouched, so [stats.pushed - stats.popped = length (drain t)]
-      is the conservation check. *)
+      overflow), then the limbo stash, and return the values.  Leaves
+      service counters untouched, so
+      [stats.pushed - stats.popped = length (drain t)] is the
+      conservation check. *)
 end

@@ -1,0 +1,151 @@
+(* Baseline comparison between two benchmark --json documents,
+   factored out of the bench driver so the verdict logic is unit
+   testable.
+
+   Rows are matched across the two documents by experiment id plus
+   every string-valued field (backend, mix, section, cell, ...) plus
+   the domain count — the stable identity of a benchmark cell.  Every
+   matched pair reports its ops_per_sec delta; hot-path rows (the
+   single-domain e23 shootout and the soak sections) regressing beyond
+   the threshold are collected as regressions.  New and vanished rows
+   are reported but never fail: growing the suite must not break the
+   gate.
+
+   Anything that makes the comparison itself meaningless — an
+   unreadable or unparsable file, a wrong schema, a matched cell whose
+   ops_per_sec is missing, non-numeric or NaN, or zero matched rows —
+   is an [Invalid] verdict with a diagnostic naming the file and cell,
+   so the caller can distinguish "your inputs are broken" (usage-class
+   failure) from "your code got slower" (regression-class failure). *)
+
+type verdict =
+  | Compared of { matched : int; regressions : (string * float) list }
+  | Invalid of string
+
+let default_threshold = 20.0
+
+let load ~schema file =
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error (Printf.sprintf "cannot read %s: %s" file m)
+  | text -> (
+      match Json.of_string text with
+      | exception Json.Parse_error m ->
+          Error (Printf.sprintf "invalid JSON in %s: %s" file m)
+      | doc -> (
+          match Json.string_value (Json.member "schema" doc) with
+          | Some s when s = schema -> Ok doc
+          | Some s -> Error (Printf.sprintf "%s: unexpected schema %S" file s)
+          | None -> Error (Printf.sprintf "%s: missing schema field" file)))
+
+let row_key ~id row =
+  match row with
+  | Json.Obj fields ->
+      let parts =
+        List.filter_map
+          (fun (k, v) ->
+            match v with
+            (* measurements are never identity, even when corrupted
+               into a string — keep the row matched so the corruption
+               is diagnosed rather than reported as a new row *)
+            | _ when k = "ops_per_sec" -> None
+            | Json.String s -> Some (Printf.sprintf "%s=%s" k s)
+            | Json.Int n when k = "domains" -> Some (Printf.sprintf "%s=%d" k n)
+            | _ -> None)
+          fields
+      in
+      String.concat " " (id :: List.sort compare parts)
+  | _ -> id
+
+let indexed_rows doc =
+  List.concat_map
+    (fun e ->
+      match Json.string_value (Json.member "id" e) with
+      | None -> []
+      | Some id ->
+          List.map
+            (fun r -> (row_key ~id r, r))
+            (Json.to_list (Json.member "rows" e)))
+    (Json.to_list (Json.member "experiments" doc))
+
+(* The gate is restricted to rows whose run-to-run variance supports a
+   threshold: single-domain shootout throughput and the rate-paced
+   soaks.  Multi-domain cells measure the OS scheduler's interleaving
+   luck on an oversubscribed box; their deltas still print. *)
+let hot key =
+  let parts = String.split_on_char ' ' key in
+  let has s = List.mem s parts in
+  (has "section=shootout" && has "domains=1") || has "section=soak"
+
+(* A matched cell's throughput, or a diagnostic: [ops_per_sec]
+   missing, non-numeric or NaN means whoever wrote [file] produced a
+   corrupt measurement, and comparing against it would silently gate
+   on garbage. *)
+let ops ~file ~key row =
+  match Json.number_value (Json.member "ops_per_sec" row) with
+  | Some v when Float.is_nan v ->
+      Error (Printf.sprintf "%s: NaN ops_per_sec in matched row [%s]" file key)
+  | Some v -> Ok v
+  | None ->
+      Error
+        (Printf.sprintf "%s: missing or non-numeric ops_per_sec in matched \
+                         row [%s]"
+           file key)
+
+let run ?(threshold = default_threshold) ?(print = fun _ -> ())
+    ~schema ~old_file ~new_file () =
+  match (load ~schema old_file, load ~schema new_file) with
+  | Error m, _ | _, Error m -> Invalid m
+  | Ok old_doc, Ok new_doc -> (
+      let old_rows = indexed_rows old_doc in
+      let new_rows = indexed_rows new_doc in
+      let regressions = ref [] in
+      let matched = ref 0 in
+      let invalid = ref None in
+      let fail m = if !invalid = None then invalid := Some m in
+      List.iter
+        (fun (key, nr) ->
+          match List.assoc_opt key old_rows with
+          | None -> print (Printf.sprintf "  new       %s" key)
+          | Some orow -> (
+              match (ops ~file:old_file ~key orow, ops ~file:new_file ~key nr)
+              with
+              | Error m, _ | _, Error m -> fail m
+              | Ok o, Ok _ when o <= 0. ->
+                  fail
+                    (Printf.sprintf
+                       "%s: non-positive ops_per_sec (%g) in matched row [%s]"
+                       old_file o key)
+              | Ok o, Ok n ->
+                  incr matched;
+                  let delta = (n -. o) /. o *. 100. in
+                  let flag =
+                    if hot key && delta < -.threshold then begin
+                      regressions := (key, delta) :: !regressions;
+                      "  REGRESSION"
+                    end
+                    else ""
+                  in
+                  print
+                    (Printf.sprintf "  %+7.1f%%  %s  (%.0f -> %.0f ops/s)%s"
+                       delta key o n flag)))
+        new_rows;
+      List.iter
+        (fun (key, _) ->
+          if not (List.mem_assoc key new_rows) then
+            print (Printf.sprintf "  vanished  %s" key))
+        old_rows;
+      match !invalid with
+      | Some m -> Invalid m
+      | None ->
+          if !matched = 0 then
+            Invalid
+              (Printf.sprintf "no comparable rows between %s and %s" old_file
+                 new_file)
+          else
+            Compared
+              { matched = !matched; regressions = List.rev !regressions })

@@ -1,0 +1,34 @@
+(** Baseline comparison between two benchmark [--json] documents (the
+    [bench --compare] verdict logic, factored out for unit testing).
+
+    Rows are matched by experiment id, every string-valued field and
+    the domain count; matched pairs report their [ops_per_sec] delta,
+    and hot-path rows (single-domain shootout, soak sections)
+    regressing beyond the threshold become {!Compared} regressions.
+    Broken inputs — unreadable or unparsable files, wrong schema, a
+    matched cell with missing / non-numeric / NaN / non-positive
+    [ops_per_sec], zero matched rows — yield {!Invalid} with a
+    diagnostic, so callers can keep usage-class failures (exit 2)
+    distinct from regression-class failures (exit 3). *)
+
+type verdict =
+  | Compared of { matched : int; regressions : (string * float) list }
+      (** [regressions] are [(row key, delta percent)], delta negative,
+          in document order. *)
+  | Invalid of string  (** diagnostic; the comparison is meaningless *)
+
+val default_threshold : float
+(** 20.0 — percent regression beyond which a hot row fails. *)
+
+val run :
+  ?threshold:float ->
+  ?print:(string -> unit) ->
+  schema:string ->
+  old_file:string ->
+  new_file:string ->
+  unit ->
+  verdict
+(** Compare [old_file] to [new_file] (both previously written by
+    [bench --json], carrying [schema]).  [print] receives one
+    human-readable line per row (deltas, new / vanished rows);
+    defaults to dropping them. *)

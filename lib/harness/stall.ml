@@ -94,6 +94,10 @@ module Freezer = struct
   let freeze_hits () =
     Array.fold_left (fun n h -> n + Atomic.get h) 0 hits
 
+  let freeze_hits_of ~tid =
+    check_tid ~who:"freeze_hits_of" tid;
+    Atomic.get hits.(tid)
+
   let reset () =
     thaw_all ();
     Array.iter (fun h -> Atomic.set h 0) hits;
@@ -112,6 +116,64 @@ module Freezer = struct
       done;
       Atomic.set parked.(tid) false
     end
+end
+
+(* --- Zombie injection ---
+
+   A zombie is the failure mode neither of the above produces: the
+   victim stays scheduled and keeps ticking its liveness heartbeat,
+   but does no useful work — a worker wedged in a retry loop, spinning
+   on a poisoned connection, or live-locked.  Crash detection never
+   fires (it is not dead) and tick-based silence detection never fires
+   (it is not silent); only progress-based detection
+   ({!Worksteal.Supervisor}'s [zombie_after]) can tell it from a
+   healthy idle worker.
+
+   Unlike the freezer, zombification is not delivered at shared-memory
+   points — a parked victim would stop ticking and look merely silent.
+   Instead the victim's WORK LOOP cooperates: it polls [active] each
+   iteration and, while the flag is up, skips the operation, keeps its
+   heartbeat ticking, and counts one [bite].  The bite counter is how
+   a storm schedule verifies the window actually landed. *)
+module Zombie = struct
+  let max_slots = 64
+
+  let flags = Array.init max_slots (fun _ -> Dcas.Padding.make_atomic false)
+  let bitten = Array.init max_slots (fun _ -> Dcas.Padding.make_atomic 0)
+
+  let check_tid ~who tid =
+    if tid < 0 || tid >= max_slots then
+      invalid_arg
+        (Printf.sprintf "Stall.Zombie.%s: tid must be in [0, %d)" who
+           max_slots)
+
+  let zombify ~tid =
+    check_tid ~who:"zombify" tid;
+    Atomic.set flags.(tid) true
+
+  let cure ~tid =
+    check_tid ~who:"cure" tid;
+    Atomic.set flags.(tid) false
+
+  let cure_all () = Array.iter (fun f -> Atomic.set f false) flags
+
+  let active ~tid =
+    tid >= 0 && tid < max_slots && Atomic.get flags.(tid)
+
+  let bite ~tid =
+    check_tid ~who:"bite" tid;
+    Atomic.incr bitten.(tid)
+
+  let bites () =
+    Array.fold_left (fun n b -> n + Atomic.get b) 0 bitten
+
+  let bites_of ~tid =
+    check_tid ~who:"bites_of" tid;
+    Atomic.get bitten.(tid)
+
+  let reset () =
+    cure_all ();
+    Array.iter (fun b -> Atomic.set b 0) bitten
 end
 
 (* Called by the instrumented memory before every shared operation. *)

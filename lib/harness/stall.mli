@@ -67,9 +67,59 @@ module Freezer : sig
   val freeze_hits : unit -> int
   (** Total number of park events since the last {!reset}. *)
 
+  val freeze_hits_of : tid:int -> int
+  (** Park events of victim [tid] alone — lets a storm schedule verify
+      that a specific freeze window landed even when windows overlap.
+
+      @raise Invalid_argument if [tid] is outside [0, max_slots). *)
+
   val reset : unit -> unit
   (** Thaw everyone and zero the counters.  Call between experiments;
       does not un-enroll domains. *)
+end
+
+(** Zombie injection: the victim stays alive {e and keeps ticking its
+    liveness heartbeat} but makes no progress — the failure mode that
+    neither crash detection (not dead) nor tick-based silence
+    detection (not silent) can see, only progress-based detection
+    ({!Worksteal.Supervisor}'s [zombie_after]).
+
+    Unlike the {!Freezer}, zombification is not delivered at
+    shared-memory access points (a parked victim would stop ticking
+    and look merely silent).  The victim's work loop cooperates: it
+    polls {!active} each iteration and, while the flag is up, skips
+    the operation, keeps its heartbeat ticking, and records one
+    {!bite} — the counter a storm schedule reads to verify the window
+    landed.  Slots are the same dense worker ids the {!Freezer} and
+    {!Crash} use. *)
+module Zombie : sig
+  val max_slots : int
+
+  val zombify : tid:int -> unit
+  (** Raise victim [tid]'s zombie flag.
+
+      @raise Invalid_argument if [tid] is outside [0, max_slots). *)
+
+  val cure : tid:int -> unit
+  (** Lower victim [tid]'s zombie flag; it resumes useful work at its
+      next loop iteration (unless it was fenced meanwhile). *)
+
+  val cure_all : unit -> unit
+
+  val active : tid:int -> bool
+  (** Whether [tid]'s flag is up ([false] for out-of-range ids, so
+      un-enrolled callers can poll unconditionally). *)
+
+  val bite : tid:int -> unit
+  (** Victim-side: record one operation suppressed while zombified. *)
+
+  val bites : unit -> int
+  (** Total suppressed operations since the last {!reset}. *)
+
+  val bites_of : tid:int -> int
+
+  val reset : unit -> unit
+  (** Cure everyone and zero the bite counters. *)
 end
 
 module Mem_stalling (M : Dcas.Memory_intf.MEMORY) :

@@ -254,18 +254,36 @@ let greenwald_v2 ?(setup = []) ~name ~length ~prefill threads =
    all: it quarantines the token's home shard, adopts (drains) it into
    the survivors and revives it — the control-plane action whose races
    against routing this scenario exists to explore.  It reports
-   [Full], which every checker ignores.  Scripts must use distinct
-   non-token values or the no-duplicate obligation misfires. *)
+   [Full], which every checker ignores.  With [fence_adoption:false]
+   the script runs the planted zombie-adoption bug instead: the
+   pre-fence, pre-limbo drain protocol (no quarantine, and an
+   unplaceable park-back re-places round-robin forever instead of
+   escaping to the limbo stash) — a racing push takes the slot the
+   drain just freed, over-commits the bounded shards, and the spin
+   becomes a liveness violation the explorer reports as a step-limit
+   hit.  The fenced variant survives the same schedules: quarantine
+   stops new routes, and the limbo escape absorbs the straggler that
+   routed before it.  Pushing [shed_token] models E25's
+   deadline shed: it pops (urgent end) through the token's route and
+   DISCARDS the value, recording it in a shed log; the invariant then
+   also demands that no shed value is still resident and none is shed
+   twice — the conservation face of shedding, explored against steal
+   and adoption races.  Scripts must use distinct non-token values or
+   the no-duplicate obligation misfires. *)
 module Sharded_model = Deque.Sharded.Make (Array_model)
 
 let sharded ?(shards = 2) ?(capacity = 2) ?(steal_batch = 1)
-    ?(adopt_token = min_int) ~name ~prefill threads =
+    ?(adopt_token = min_int) ?(shed_token = min_int + 1)
+    ?(fence_adoption = true) ~name ~prefill threads =
+  if adopt_token = shed_token then
+    invalid_arg "Scenario.sharded: adopt_token = shed_token";
   build ~name ~capacity:None ~prefill ~setup:[] ~threads
     ~make_instance:(fun () ->
       let t =
         Sharded_model.create ~full:Deque.Policy.Reject ~steal_batch ~shards
           ~capacity ()
       in
+      let sheds = ref [] in
       let res_of_push = function
         | `Okay -> Spec.Op.Okay
         | `Full | `Timeout -> Spec.Op.Full
@@ -278,10 +296,61 @@ let sharded ?(shards = 2) ?(capacity = 2) ?(steal_batch = 1)
         match op with
         | Spec.Op.(Push_right v | Push_left v) when v = adopt_token ->
             let shard = Sharded_model.shard_of t ~key:v in
-            Sharded_model.quarantine t ~shard;
-            ignore (Sharded_model.adopt t ~shard);
-            Sharded_model.revive t ~shard;
+            if fence_adoption then begin
+              Sharded_model.quarantine t ~shard;
+              ignore (Sharded_model.adopt t ~shard);
+              Sharded_model.revive t ~shard
+            end
+            else begin
+              (* planted bug: the pre-fence, pre-limbo adoption — no
+                 quarantine, so routing keeps targeting the shard
+                 mid-drain, and an unplaceable park-back re-places
+                 round-robin forever instead of escaping to the limbo
+                 stash.  A racing push that takes the freed slot
+                 over-commits the shards and livelocks it — caught as
+                 a step-limit violation. *)
+              let sh i = Sharded_model.shard t (i mod shards) in
+              let rec spin_place v i =
+                match Sharded_model.P.push (sh i) ~side:`Right v with
+                | `Okay -> ()
+                | `Full | `Timeout -> spin_place v (i + 1)
+              in
+              let rec drain_loop () =
+                match Sharded_model.P.pop (sh shard) ~side:`Left with
+                | `Empty | `Timeout -> ()
+                | `Value v ->
+                    let rec survivors i =
+                      if i >= shards - 1 then
+                        (* full sweep: park back on the source — whose
+                           freed slot a racing push may have taken *)
+                        match
+                          Sharded_model.P.push (sh shard) ~side:`Left v
+                        with
+                        | `Okay -> ()
+                        | `Full | `Timeout -> spin_place v (shard + 1)
+                      else
+                        match
+                          Sharded_model.P.push
+                            (sh (shard + 1 + i))
+                            ~side:`Right v
+                        with
+                        | `Okay -> drain_loop ()
+                        | `Full | `Timeout -> survivors (i + 1)
+                    in
+                    survivors 0
+              in
+              drain_loop ()
+            end;
             Spec.Op.Full
+        | Spec.Op.(Push_right v | Push_left v) when v = shed_token ->
+            (* a deadline shed: pop-and-discard through the token's
+               route, as a consumer shedding an expired item — the
+               value leaves the system without being served *)
+            (match Sharded_model.pop ~urgent:true t ~key:shed_token with
+            | `Value v' ->
+                sheds := v' :: !sheds;
+                Spec.Op.Got v'
+            | `Empty | `Timeout -> Spec.Op.Empty)
         | Spec.Op.Push_right v -> res_of_push (Sharded_model.push t ~key:v v)
         | Spec.Op.Push_left v ->
             res_of_push (Sharded_model.push ~urgent:true t ~key:v v)
@@ -293,6 +362,10 @@ let sharded ?(shards = 2) ?(capacity = 2) ?(steal_batch = 1)
         Array_model.unsafe_to_list
           (Sharded_model.P.primary (Sharded_model.shard t i))
         @ Sharded_model.P.overflow_list (Sharded_model.shard t i)
+      in
+      let rec dup = function
+        | a :: (b :: _ as rest) -> if a = b then Some a else dup rest
+        | _ -> None
       in
       let invariant () =
         let rec shard_inv i =
@@ -309,22 +382,40 @@ let sharded ?(shards = 2) ?(capacity = 2) ?(steal_batch = 1)
         | Error _ as e -> e
         | Ok () -> (
             let all =
-              List.concat (List.init shards resident) |> List.sort compare
-            in
-            let rec dup = function
-              | a :: (b :: _ as rest) ->
-                  if a = b then Some a else dup rest
-              | _ -> None
+              List.concat (List.init shards resident)
+              @ Sharded_model.limbo_list t
+              |> List.sort compare
             in
             match dup all with
             | Some v ->
                 Error (Printf.sprintf "value %d resident in two places" v)
-            | None -> Ok ())
+            | None -> (
+                match dup (List.sort compare !sheds) with
+                | Some v -> Error (Printf.sprintf "value %d shed twice" v)
+                | None -> (
+                    match
+                      List.find_opt (fun v -> List.mem v all) !sheds
+                    with
+                    | Some v ->
+                        Error
+                          (Printf.sprintf
+                             "value %d both shed and still resident" v)
+                    | None -> Ok ())))
       in
       let dump () =
-        List.init shards (fun i ->
-            resident i |> List.map string_of_int |> String.concat ",")
-        |> String.concat " | "
+        (List.init shards (fun i ->
+             resident i |> List.map string_of_int |> String.concat ",")
+        |> String.concat " | ")
+        ^ (match Sharded_model.limbo_list t with
+          | [] -> ""
+          | l ->
+              " limbo: " ^ (List.map string_of_int l |> String.concat ","))
+        ^
+        match !sheds with
+        | [] -> ""
+        | s ->
+            " shed: "
+            ^ (List.rev_map string_of_int s |> String.concat ",")
       in
       (apply, Some invariant, Some dump))
 

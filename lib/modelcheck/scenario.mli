@@ -150,26 +150,43 @@ val sharded :
   ?capacity:int ->
   ?steal_batch:int ->
   ?adopt_token:int ->
+  ?shed_token:int ->
+  ?fence_adoption:bool ->
   name:string ->
   prefill:int list ->
   int Spec.Op.op list list ->
   t
-(** The sharded service front end ({!Deque.Sharded}, experiment E24)
-    over model-memory array deques: [shards] Reject-policy shards of
-    [capacity] each behind affinity routing, cross-shard push overflow
-    and steal-based pop rebalancing.  The composite is {e not}
-    linearizable to one deque — explore with [check:`None]; its
-    obligations are the per-step invariant (every shard's
-    representation invariant, and no value resident twice across the
-    service) plus {!Explorer.check_crash}'s drain-and-conserve check,
-    whose single-in-flight-item accounting the default
-    [steal_batch = 1] matches.  Pushes route by their own value, pops
-    by key 0 (so an empty home shard exercises the steal scan), and
-    pushing [adopt_token] (default: disabled) instead quarantines,
+(** The sharded service front end ({!Deque.Sharded}, experiments
+    E24/E25) over model-memory array deques: [shards] Reject-policy
+    shards of [capacity] each behind affinity routing, cross-shard
+    push overflow and steal-based pop rebalancing.  The composite is
+    {e not} linearizable to one deque — explore with [check:`None];
+    its obligations are the per-step invariant (every shard's
+    representation invariant, no value resident twice across the
+    service, no shed value resident or shed twice) plus
+    {!Explorer.check_crash}'s drain-and-conserve check, whose
+    single-in-flight-item accounting the default [steal_batch = 1]
+    matches.  Pushes route by their own value, pops by key 0 (so an
+    empty home shard exercises the steal scan).
+
+    Pushing [adopt_token] (default: disabled) instead quarantines,
     adopts and revives the token's home shard — the control-plane
     action whose races against routing this scenario explores; it
-    reports [Full], which every checker ignores.  Scripts must use
-    distinct non-token values. *)
+    reports [Full], which every checker ignores.  With
+    [fence_adoption:false] it runs the planted zombie-adoption bug of
+    E25 instead: the pre-fence, pre-limbo drain (no quarantine, and an
+    unplaceable park-back re-places forever instead of escaping to
+    {!Deque.Sharded}'s limbo stash) — a racing push takes the freed
+    slot, over-commits the bounded shards, and the spin is caught as a
+    step-limit (liveness) violation; the fenced variant survives the
+    same schedules.
+
+    Pushing [shed_token] (default: disabled) models E25's deadline
+    shed: an urgent pop through the token's route whose value is
+    {e discarded} into a shed log — the invariant then checks the
+    conservation face of shedding against steal/adoption races.
+
+    Scripts must use distinct non-token values. *)
 
 val chaos_stats : unit -> Dcas.Memory_intf.stats
 (** Cumulative counters of the chaos substrate behind

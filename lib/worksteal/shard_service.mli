@@ -8,13 +8,27 @@
 
     The acceptance law, service-wide and fault-storm-proof:
 
-    [spawned = executed + reconciled] and [leftover = 0]
+    [spawned = executed + reconciled + shed] and [leftover = 0]
 
     — a pending unit is granted before each push and returned on an
-    honest [`Full]/[`Timeout], so a death inside any operation strands
-    at most one unit, written off only once consumers' full no-find
-    scans (which walk every shard, quarantined included) certify that
-    nothing live remains. *)
+    honest [`Full], so a death inside any operation strands at most
+    one unit, written off only once consumers' full no-find scans
+    (which walk every shard, quarantined included) certify that
+    nothing live remains.  [shed] is deadline enforcement (E25): ops
+    refused at admission, timed out mid-push, or popped past their
+    stamped expiry resolve their unit as first-class timed-out
+    outcomes that stay on the books.
+
+    Failure detection is two disjoint detectors: tick-based silence
+    ([silence_after]) for frozen heartbeats, and progress-based zombie
+    detection ([zombie_after]) for consumers whose heartbeat ticks
+    while their progress counters are frozen
+    ({!Harness.Stall.Zombie}).  Idle consumers trip neither — their
+    empty scans advance progress, and their idle-backoff parks are
+    flagged so they cannot read as silence.  Either detector fences
+    the old worker before replacing it, so a woken or cured worker
+    never runs beside its replacement and no slot is adopted twice
+    for one failure. *)
 
 type config = {
   shards : int;
@@ -29,7 +43,14 @@ type config = {
   burst : int;  (** arrivals released per token-bucket refill *)
   urgent_share : float;  (** fraction of pushes entering the left end *)
   key_space : int;  (** routing keys drawn uniformly from [0,key_space) *)
-  deadline : float option;  (** per-operation budget, seconds *)
+  deadline : float option;
+      (** per-request budget, seconds: bounds the push call, stamps
+          the item with an absolute expiry, and sheds it at dequeue
+          once exceeded *)
+  admission : bool;
+      (** refuse requests at enqueue when the home shard's observed
+          p99 sojourn already exceeds [deadline]
+          ({!Deque.Sharded.Make.admit}); no-op without a deadline *)
   sup : Supervisor.config;
   seed : int;
 }
@@ -43,15 +64,26 @@ val validate : config -> unit
 
 type report = {
   spawned : int;  (** pending units granted to pushes *)
-  executed : int;  (** pops served *)
+  executed : int;  (** pops served within deadline *)
   reconciled : int;  (** phantom units written off at quiescence *)
+  shed_admission : int;
+      (** ops refused at enqueue by admission control (unit retained) *)
+  shed_expired : int;
+      (** ops timed out with their unit retained: the push ran out of
+          budget, or the item was popped past its stamped expiry *)
   leftover : int;  (** items found by the final quiescent drain *)
   pushed_ok : int;
   push_full : int;
-  timeouts : int;
+  timeouts : int;  (** push/pop calls that ran out of deadline *)
   empty_scans : int;  (** consumers' full no-find scans *)
+  overshoot_max_ns : int;
+      (** worst served-op completion past its stamped expiry; expired
+          items are shed at dequeue, so anything beyond a scheduling
+          epsilon is an enforcement bug — the E25 gate *)
   killed : int;  (** workers lost to {!Harness.Crash.Died} *)
   presumed_dead : int;  (** silent workers replaced without certificate *)
+  zombies_fenced : int;
+      (** consumers fenced by progress-based zombie detection *)
   replacements : int;
   adoptions : int;  (** shard quarantine+drain+revive cycles *)
   adopted_items : int;
@@ -65,9 +97,13 @@ type report = {
   elapsed : float;
 }
 
+val shed : report -> int
+(** [shed_admission + shed_expired] — ops resolved as timed out with
+    their spawned unit retained. *)
+
 val conserved : report -> bool
-(** [spawned = executed + reconciled && leftover = 0] — the E24
-    acceptance predicate. *)
+(** [spawned = executed + reconciled + shed && leftover = 0] — the
+    E24/E25 acceptance predicate. *)
 
 val pp_report : Format.formatter -> report -> unit
 
@@ -95,7 +131,8 @@ module Make (D : Deque.Deque_intf.S) : sig
 
       Workers enroll with {!Harness.Crash} and
       {!Harness.Stall.Freezer} under their slot id (producers first,
-      then consumers), so callers can target kills and freezes at
+      then consumers) and poll {!Harness.Stall.Zombie} under the same
+      id, so callers can target kills, freezes and zombifications at
       specific roles. *)
 end
 

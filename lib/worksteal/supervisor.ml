@@ -36,17 +36,29 @@ type config = {
       (* presume a worker dead when its tick counter has not moved for
          this long; 0 disables silence detection (death certificates
          from Crash.Died still trigger adoption) *)
+  zombie_after : float;
+      (* fence a consumer as a zombie when its heartbeat keeps ticking
+         but its progress counters (ops completed + no-find scans)
+         have not moved for this long; 0 disables zombie detection.
+         Disjoint from silence by construction: a silent worker's
+         ticks are frozen, a zombie's are moving — so the two
+         detectors never race over one worker, and an idle consumer
+         (whose no-find scans keep advancing progress) trips
+         neither. *)
   quiet_sweeps : int;
       (* consecutive frozen sweeps required before reconciling *)
 }
 
-let default = { interval = 0.002; silence_after = 0.25; quiet_sweeps = 3 }
+let default =
+  { interval = 0.002; silence_after = 0.25; zombie_after = 0.; quiet_sweeps = 3 }
 
 let validate c =
   if not (c.interval > 0.) then
     invalid_arg "Supervisor: interval must be > 0";
   if c.silence_after < 0. then
     invalid_arg "Supervisor: silence_after must be >= 0";
+  if c.zombie_after < 0. then
+    invalid_arg "Supervisor: zombie_after must be >= 0";
   if c.quiet_sweeps < 1 then
     invalid_arg "Supervisor: quiet_sweeps must be >= 1"
 

@@ -22,6 +22,15 @@ type config = {
           trigger adoption.  A silent-but-alive worker adopted by
           mistake becomes a {e zombie}: the epoch fence makes its
           stale pushes run inline and it degrades to a thief. *)
+  zombie_after : float;
+      (** fence a consumer as a {e zombie} — alive and ticking its
+          heartbeat but making no progress (no op completed, no
+          no-find scan finished) for this long (default [0.] =
+          disabled).  Complements [silence_after]: silence catches
+          frozen ticks, zombie detection catches moving ticks with
+          frozen progress ({!Harness.Stall.Zombie}), and an idle
+          consumer trips neither because its empty scans keep the
+          progress counter advancing. *)
   quiet_sweeps : int;
       (** consecutive frozen sweeps required before reconciling
           (default 3) *)
@@ -31,7 +40,7 @@ val default : config
 
 val validate : config -> unit
 (** @raise Invalid_argument on non-positive [interval], negative
-    [silence_after], or [quiet_sweeps < 1]. *)
+    [silence_after] or [zombie_after], or [quiet_sweeps < 1]. *)
 
 type report = {
   spawned : int;  (** tasks made pending, root included *)

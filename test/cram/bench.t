@@ -36,6 +36,42 @@ Malformed input is rejected.
   invalid JSON in bad.json: at 51: unexpected end of input
   [1]
 
+--compare distinguishes broken inputs (usage-class, exit 2) from
+hot-path regressions (exit 3).  A missing file, and a matched soak
+cell whose ops_per_sec was corrupted to null (how a NaN measurement
+lands in the document), must both diagnose and exit 2; a 50% soak
+regression must exit 3.
+
+  $ ../../bench/main.exe --compare missing.json out.json
+  comparing missing.json (old) -> out.json (new)
+  cannot read missing.json: missing.json: No such file or directory
+  [2]
+  $ cat > old_cmp.json <<'EOF'
+  > {"schema":"dcas-deques-bench/1","experiments":[{"id":"e0","rows":[{"section":"soak","domains":1,"ops_per_sec":1000.0}]}]}
+  > EOF
+  $ cat > nan_cmp.json <<'EOF'
+  > {"schema":"dcas-deques-bench/1","experiments":[{"id":"e0","rows":[{"section":"soak","domains":1,"ops_per_sec":null}]}]}
+  > EOF
+  $ cat > slow_cmp.json <<'EOF'
+  > {"schema":"dcas-deques-bench/1","experiments":[{"id":"e0","rows":[{"section":"soak","domains":1,"ops_per_sec":500.0}]}]}
+  > EOF
+  $ ../../bench/main.exe --compare old_cmp.json nan_cmp.json
+  comparing old_cmp.json (old) -> nan_cmp.json (new)
+  nan_cmp.json: missing or non-numeric ops_per_sec in matched row [e0 domains=1 section=soak]
+  [2]
+  $ ../../bench/main.exe --compare old_cmp.json slow_cmp.json
+  comparing old_cmp.json (old) -> slow_cmp.json (new)
+      -50.0%  e0 domains=1 section=soak  (1000 -> 500 ops/s)  REGRESSION
+  1 rows matched
+  1 hot-path regression(s) beyond 20%:
+    -50.0%  e0 domains=1 section=soak
+  [3]
+  $ ../../bench/main.exe --compare old_cmp.json old_cmp.json
+  comparing old_cmp.json (old) -> old_cmp.json (new)
+       +0.0%  e0 domains=1 section=soak  (1000 -> 1000 ops/s)
+  1 rows matched
+  no hot-path regressions beyond 20%
+
 Quick E22 must pass the crash-recovery cross-checks: every supervised
 kill-k-of-n run conserves tasks exactly (spawned = executed +
 reconciled), terminates without the watchdog firing, helps every

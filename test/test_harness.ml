@@ -308,6 +308,156 @@ let test_json_nonfinite_floats () =
       Alcotest.(check (float 0.)) "finite float survives" 1.5 f
   | _ -> Alcotest.fail "unexpected parse shape"
 
+(* Property: any byte string survives a full encode/parse round trip
+   as an object member, and the encoding never leaks a raw control
+   byte (the partially-written labels of a crashed soak cell are
+   exactly "any byte string").  QCheck2's string generator covers the
+   full char range, including quotes, backslashes, DEL and NUL. *)
+let json_string_roundtrip =
+  QCheck2.Test.make ~name:"json string round trip" ~count:1000
+    ~print:QCheck2.Print.string
+    QCheck2.Gen.(string_size ~gen:(char_range '\x00' '\xff') (0 -- 64))
+    (fun s ->
+      let text =
+        Harness.Json.to_string
+          (Harness.Json.Obj [ ("s", Harness.Json.String s) ])
+      in
+      String.iter
+        (fun c ->
+          if Char.code c < 0x20 || Char.code c = 0x7f then
+            QCheck2.Test.fail_reportf "raw control byte 0x%02x in %S"
+              (Char.code c) text)
+        text;
+      match Harness.Json.(member "s" (of_string text)) with
+      | Harness.Json.String s' -> String.equal s s'
+      | _ -> false)
+
+(* --- Compare: the bench --compare verdict logic --- *)
+
+let compare_schema = "compare-test/1"
+
+let write_doc text =
+  let file = Filename.temp_file "bench" ".json" in
+  let oc = open_out file in
+  output_string oc text;
+  close_out oc;
+  file
+
+(* One experiment, rows given as (section, domains, ops_per_sec as raw
+   JSON text) — raw text so tests can plant null / strings where a
+   number belongs. *)
+let doc_with rows =
+  Printf.sprintf
+    {|{"schema":"%s","experiments":[{"id":"e1","rows":[%s]}]}|}
+    compare_schema
+    (String.concat ","
+       (List.map
+          (fun (section, domains, ops) ->
+            Printf.sprintf
+              {|{"section":"%s","domains":%d,"ops_per_sec":%s}|} section
+              domains ops)
+          rows))
+
+let run_compare ~old_rows ~new_rows =
+  let old_file = write_doc (doc_with old_rows) in
+  let new_file = write_doc (doc_with new_rows) in
+  let v =
+    Harness.Compare.run ~schema:compare_schema ~old_file ~new_file ()
+  in
+  Sys.remove old_file;
+  Sys.remove new_file;
+  v
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let check_invalid name substring = function
+  | Harness.Compare.Invalid m ->
+      if not (contains ~sub:substring m) then
+        Alcotest.failf "%s: diagnostic %S lacks %S" name m substring
+  | Harness.Compare.Compared _ ->
+      Alcotest.failf "%s: expected Invalid, got Compared" name
+
+let test_compare_clean () =
+  match
+    run_compare
+      ~old_rows:
+        [ ("soak", 1, "1000.0"); ("shootout", 1, "500.0");
+          ("shootout", 2, "400.0") ]
+      ~new_rows:
+        [ ("soak", 1, "950.0"); ("shootout", 1, "480.0");
+          (* non-hot multi-domain rows may swing arbitrarily *)
+          ("shootout", 2, "100.0") ]
+  with
+  | Harness.Compare.Compared { matched; regressions } ->
+      Alcotest.(check int) "matched" 3 matched;
+      Alcotest.(check int) "no regressions" 0 (List.length regressions)
+  | Harness.Compare.Invalid m -> Alcotest.failf "unexpected Invalid: %s" m
+
+let test_compare_regression () =
+  match
+    run_compare
+      ~old_rows:[ ("soak", 1, "1000.0"); ("shootout", 1, "500.0") ]
+      ~new_rows:[ ("soak", 1, "700.0"); ("shootout", 1, "490.0") ]
+  with
+  | Harness.Compare.Compared { matched; regressions } ->
+      Alcotest.(check int) "matched" 2 matched;
+      Alcotest.(check int) "one regression" 1 (List.length regressions)
+  | Harness.Compare.Invalid m -> Alcotest.failf "unexpected Invalid: %s" m
+
+let test_compare_missing_file () =
+  let old_file = write_doc (doc_with [ ("soak", 1, "1.0") ]) in
+  let v =
+    Harness.Compare.run ~schema:compare_schema ~old_file
+      ~new_file:"/nonexistent/bench.json" ()
+  in
+  Sys.remove old_file;
+  check_invalid "missing file" "cannot read" v
+
+let test_compare_malformed_json () =
+  let old_file = write_doc (doc_with [ ("soak", 1, "1.0") ]) in
+  let new_file = write_doc "{\"schema\": oops" in
+  let v =
+    Harness.Compare.run ~schema:compare_schema ~old_file ~new_file ()
+  in
+  Sys.remove old_file;
+  Sys.remove new_file;
+  check_invalid "malformed json" "invalid JSON" v
+
+let test_compare_wrong_schema () =
+  let old_file = write_doc (doc_with [ ("soak", 1, "1.0") ]) in
+  let new_file = write_doc {|{"schema":"other/9","experiments":[]}|} in
+  let v =
+    Harness.Compare.run ~schema:compare_schema ~old_file ~new_file ()
+  in
+  Sys.remove old_file;
+  Sys.remove new_file;
+  check_invalid "wrong schema" "unexpected schema" v
+
+let test_compare_nan_cell () =
+  (* Json.to_string writes NaN as null, so a NaN measurement reaches
+     the comparison as a null ops_per_sec in a matched cell *)
+  check_invalid "null ops" "ops_per_sec"
+    (run_compare
+       ~old_rows:[ ("soak", 1, "1000.0") ]
+       ~new_rows:[ ("soak", 1, "null") ]);
+  check_invalid "string ops" "ops_per_sec"
+    (run_compare
+       ~old_rows:[ ("soak", 1, "\"fast\"") ]
+       ~new_rows:[ ("soak", 1, "1000.0") ]);
+  check_invalid "zero baseline" "ops_per_sec"
+    (run_compare
+       ~old_rows:[ ("soak", 1, "0.0") ]
+       ~new_rows:[ ("soak", 1, "1000.0") ])
+
+let test_compare_nothing_matched () =
+  check_invalid "disjoint rows" "no comparable rows"
+    (run_compare
+       ~old_rows:[ ("soak", 1, "1000.0") ]
+       ~new_rows:[ ("shootout", 1, "1000.0") ])
+
 let () =
   Alcotest.run "harness"
     [
@@ -366,5 +516,22 @@ let () =
             test_json_control_chars;
           Alcotest.test_case "nan/inf encode as null" `Quick
             test_json_nonfinite_floats;
+          QCheck_alcotest.to_alcotest json_string_roundtrip;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "clean compare" `Quick test_compare_clean;
+          Alcotest.test_case "hot-path regression flagged" `Quick
+            test_compare_regression;
+          Alcotest.test_case "missing file is invalid" `Quick
+            test_compare_missing_file;
+          Alcotest.test_case "malformed json is invalid" `Quick
+            test_compare_malformed_json;
+          Alcotest.test_case "wrong schema is invalid" `Quick
+            test_compare_wrong_schema;
+          Alcotest.test_case "corrupt ops_per_sec is invalid" `Quick
+            test_compare_nan_cell;
+          Alcotest.test_case "nothing matched is invalid" `Quick
+            test_compare_nothing_matched;
         ] );
     ]

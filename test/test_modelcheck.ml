@@ -454,6 +454,51 @@ let test_sharded_nonblocking () =
   | Ok n -> Alcotest.(check bool) "stall points exercised" true (n > 0)
   | Error j -> Alcotest.failf "service blocked at stall point %d" j
 
+(* The E25 planted zombie-adoption bug, and the fence that fixes it.
+   Over-committed shape: two capacity-1 shards, both prefilled (3 homes
+   on shard 0, 1 on shard 1), one thread adopting shard-of-9 (= 1)
+   while another pushes 5 (also homed on shard 1).  Unfenced, the
+   racing push takes the slot the drain frees and the pre-limbo
+   park-back re-places forever — a step-limit violation.  The fenced
+   adoption survives the same script exhaustively: quarantine stops new
+   routes and the limbo stash absorbs the straggler that routed before
+   it. *)
+let overcommit_script ~fence_adoption =
+  Modelcheck.Scenario.sharded ~capacity:1 ~adopt_token:9 ~fence_adoption
+    ~name:(if fence_adoption then "sharded-fenced" else "sharded-nofence")
+    ~prefill:[ 3; 1 ]
+    [ [ Push_right 9 ]; [ Push_right 5 ] ]
+
+let test_sharded_fenced_survives () =
+  let outcome =
+    Modelcheck.Explorer.explore ~check:`None ~max_steps:2_000
+      (overcommit_script ~fence_adoption:true)
+  in
+  assert_clean "fenced adoption under over-commit" outcome;
+  Alcotest.(check bool)
+    "exhaustive" true outcome.Modelcheck.Explorer.exhaustive
+
+let test_sharded_nofence_caught () =
+  match
+    (Modelcheck.Explorer.explore ~check:`None ~max_steps:2_000
+       (overcommit_script ~fence_adoption:false))
+      .error
+  with
+  | Some f ->
+      Alcotest.(check string)
+        "liveness violation" "step limit exceeded" f.Modelcheck.Explorer.reason
+  | None -> Alcotest.fail "planted no-fence adoption bug not caught"
+
+(* Deadline shedding (push of the shed token = urgent pop-and-discard
+   through its route) racing ordinary traffic: the invariant adds that
+   no value is shed twice and no shed value is still resident. *)
+let test_sharded_shed_conserves () =
+  assert_clean "shed vs push vs pop"
+    (Modelcheck.Explorer.explore ~check:`None ~max_schedules:50_000
+       (Modelcheck.Scenario.sharded ~shed_token:7 ~name:"sharded-shed"
+          ~prefill:[ 1; 2 ]
+          [ [ Push_right 3 ]; [ Push_right 7 ]; [ Pop_left ] ]))
+
 let () =
   Alcotest.run "modelcheck"
     [
@@ -514,6 +559,11 @@ let () =
             test_sharded_crash_conserves;
           Alcotest.test_case "stall never blocks service" `Slow
             test_sharded_nonblocking;
+          Alcotest.test_case "fenced adoption survives over-commit" `Slow
+            test_sharded_fenced_survives;
+          Alcotest.test_case "planted no-fence bug caught" `Slow
+            test_sharded_nofence_caught;
+          Alcotest.test_case "shed conserves" `Slow test_sharded_shed_conserves;
         ] );
       ("scenario fuzzing", fuzz_tests);
       ( "determinism",

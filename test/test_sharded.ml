@@ -262,6 +262,110 @@ let test_service_frozen_shard () =
   Alcotest.(check bool) "survivor served during the freeze" true
     (Atomic.get served_in_freeze >= 1)
 
+(* False-silence / false-zombie regression (the supervisor
+   misclassification hazard): a near-idle service — producers rate-
+   limited to a trickle — leaves the consumers parked in their idle
+   backoff most of the run.  With aggressive detection thresholds
+   (well below the run length) neither detector may fire: the idling
+   flag covers the deliberate park, and empty scans keep the progress
+   counter moving between parks.  Before the fix, an idle consumer
+   descheduled inside its park read as silent, and a consumer whose
+   ticks froze together with its progress (an oversubscribed box)
+   read as a zombie. *)
+let test_idle_not_misclassified () =
+  let cfg =
+    {
+      base_config with
+      Svc.producers = 1;
+      consumers = 2;
+      rate = 20.;
+      (* a trickle: consumers idle almost always *)
+      sup =
+        {
+          Worksteal.Supervisor.default with
+          silence_after = 0.05;
+          zombie_after = 0.05;
+        };
+    }
+  in
+  let r = Svc.Array_service.run ~config:cfg ~duration:0.5 () in
+  check_conserved r;
+  Alcotest.(check int) "no idle consumer presumed dead" 0 r.Svc.presumed_dead;
+  Alcotest.(check int) "no idle consumer fenced as zombie" 0
+    r.Svc.zombies_fenced;
+  Alcotest.(check int) "no replacements without a failure" 0
+    r.Svc.replacements
+
+(* Zombie fencing: a consumer whose heartbeat keeps ticking while it
+   does no work (Harness.Stall.Zombie) must be caught by the
+   progress-based detector, fenced, and replaced — and the books must
+   still balance. *)
+let test_zombie_fenced () =
+  Harness.Stall.Zombie.reset ();
+  let cfg =
+    {
+      base_config with
+      Svc.producers = 1;
+      consumers = 2;
+      sup =
+        {
+          Worksteal.Supervisor.default with
+          silence_after = 0.;
+          zombie_after = 0.05;
+        };
+    }
+  in
+  let victim = cfg.Svc.producers in
+  let driver () =
+    Unix.sleepf 0.1;
+    Harness.Stall.Zombie.zombify ~tid:victim;
+    Unix.sleepf 0.3;
+    Harness.Stall.Zombie.cure ~tid:victim;
+    Unix.sleepf 0.1
+  in
+  let r, bites =
+    Fun.protect
+      ~finally:Harness.Stall.Zombie.reset
+      (fun () ->
+        let r = Svc.Array_service.run ~config:cfg ~driver ~duration:0.4 () in
+        (r, Harness.Stall.Zombie.bites ()))
+  in
+  check_conserved r;
+  Alcotest.(check bool) "the zombie bit" true (bites >= 1);
+  Alcotest.(check bool) "fenced by progress detection" true
+    (r.Svc.zombies_fenced >= 1);
+  Alcotest.(check bool) "and replaced" true
+    (r.Svc.replacements >= r.Svc.zombies_fenced);
+  Alcotest.(check bool) "traffic survived the zombie" true
+    (r.Svc.executed > 0)
+
+(* Deadline enforcement: with a budget far below the service's idle
+   backoff the tail of every burst expires in queue; sheds must be
+   first-class outcomes inside the conservation law, and no served op
+   may overshoot its stamped deadline beyond a scheduling epsilon. *)
+let test_deadline_sheds_conserve () =
+  let cfg =
+    {
+      base_config with
+      Svc.producers = 2;
+      consumers = 1;
+      rate = 2_000.;
+      burst = 64;
+      deadline = Some 0.0002;
+      admission = true;
+    }
+  in
+  let r = Svc.Array_service.run ~config:cfg ~duration:0.4 () in
+  check_conserved r;
+  Alcotest.(check bool) "traffic was offered" true (r.Svc.spawned > 0);
+  Alcotest.(check bool) "sheds happened" true (Svc.shed r >= 1);
+  (* executed may legitimately be 0 on a single-core box (every item
+     expires in queue); what must hold is that every shed op stayed on
+     the books — conservation above — and that nothing that WAS served
+     finished far past its stamped deadline *)
+  Alcotest.(check bool) "no served op finished far past its deadline" true
+    (r.Svc.overshoot_max_ns <= 50_000_000)
+
 let () =
   let tiered = Test_support.tiered in
   Alcotest.run "sharded"
@@ -294,5 +398,11 @@ let () =
             test_service_crash_storm;
           tiered "frozen shard: survivors progress (E19 mirror)" `Slow
             test_service_frozen_shard;
+          tiered "idle consumers are never misclassified" `Slow
+            test_idle_not_misclassified;
+          tiered "zombie consumer fenced and replaced" `Slow
+            test_zombie_fenced;
+          tiered "deadline sheds stay on the books" `Slow
+            test_deadline_sheds_conserve;
         ] );
     ]
